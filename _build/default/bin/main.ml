@@ -1,0 +1,397 @@
+(* cpsdim — control-aware dimensioning of TT slots for multi-resource
+   CPS, after Roy et al., DAC 2019.
+
+   Subcommands: tables, verify, map, simulate, sweep, flexray. *)
+
+let app_of_name name =
+  let a = Casestudy.find name in
+  Core.App.make ~name:a.Casestudy.name ~plant:a.Casestudy.plant
+    ~gains:a.Casestudy.gains ~r:a.Casestudy.r ~j_star:a.Casestudy.j_star ()
+
+let parse_apps names =
+  try Ok (List.map app_of_name names)
+  with Not_found ->
+    Error (`Msg "unknown application (case study provides C1..C6)")
+
+let pp_int_array ppf a =
+  Format.fprintf ppf "[%s]"
+    (String.concat "," (Array.to_list (Array.map string_of_int a)))
+
+(* ------------------------------------------------------------------ *)
+(* tables *)
+
+let tables_cmd_run names =
+  let names = if names = [] then [ "C1"; "C2"; "C3"; "C4"; "C5"; "C6" ] else names in
+  match parse_apps names with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok apps ->
+    List.iter
+      (fun (a : Core.App.t) ->
+        let t = a.Core.App.table in
+        Format.printf
+          "%s: r=%d J*=%d | J_T=%d J_E=%d T*_w=%d@.  T-_dw=%a@.  T+_dw=%a@."
+          a.Core.App.name a.Core.App.r a.Core.App.j_star t.Core.Dwell.jt
+          t.Core.Dwell.je t.Core.Dwell.t_w_max pp_int_array t.Core.Dwell.t_dw_min
+          pp_int_array t.Core.Dwell.t_dw_max)
+      apps;
+    0
+
+(* ------------------------------------------------------------------ *)
+(* verify *)
+
+let verify_cmd_run engine bound names =
+  match parse_apps names with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok [] -> prerr_endline "verify: give at least one application"; 1
+  | Ok apps ->
+    let specs = Core.Mapping.specs_of_group apps in
+    (match engine with
+     | `Discrete | `Bfs ->
+       let mode = if engine = `Bfs then `Bfs else `Subsumption in
+       let r = Core.Dverify.verify ~mode specs in
+       Format.printf "%a@.states=%d transitions=%d elapsed=%.2fs@."
+         (Core.Dverify.pp_verdict specs) r.Core.Dverify.verdict
+         r.Core.Dverify.stats.Core.Dverify.states
+         r.Core.Dverify.stats.Core.Dverify.transitions
+         r.Core.Dverify.stats.Core.Dverify.elapsed;
+       (match r.Core.Dverify.verdict with
+        | Core.Dverify.Safe -> 0
+        | Core.Dverify.Unsafe ce ->
+          Format.printf "%a@." (Core.Dverify.pp_counterexample specs) ce;
+          2)
+     | `Bounded ->
+       let r = Core.Dverify.verify_bounded ~instances:bound specs in
+       Format.printf "%a (bounded, %d instances/app)@.states=%d elapsed=%.2fs@."
+         (Core.Dverify.pp_verdict specs) r.Core.Dverify.verdict bound
+         r.Core.Dverify.stats.Core.Dverify.states
+         r.Core.Dverify.stats.Core.Dverify.elapsed;
+       (match r.Core.Dverify.verdict with Core.Dverify.Safe -> 0 | _ -> 2)
+     | `Ta ->
+       let r = Core.Ta_model.verify specs in
+       if not r.Core.Ta_model.decided then begin
+         Format.printf "undecided: state cap reached (%d symbolic states)@."
+           r.Core.Ta_model.stats.Ta.Reach.states;
+         3
+       end
+       else begin
+         Format.printf "%s@.symbolic states=%d elapsed=%.2fs@."
+           (if r.Core.Ta_model.safe then "safe: Error location unreachable"
+            else "unsafe: Error location reachable")
+           r.Core.Ta_model.stats.Ta.Reach.states
+           r.Core.Ta_model.stats.Ta.Reach.elapsed;
+         if r.Core.Ta_model.safe then 0 else 2
+       end)
+
+(* ------------------------------------------------------------------ *)
+(* map *)
+
+let map_cmd_run with_baseline optimal =
+  let apps = List.map (fun (a : Casestudy.app) -> app_of_name a.Casestudy.name) Casestudy.all in
+  let outcome =
+    if optimal then Core.Mapping.optimal apps else Core.Mapping.first_fit apps
+  in
+  Format.printf "%a@." Core.Mapping.pp outcome;
+  if with_baseline then begin
+    let specs =
+      List.mapi
+        (fun i (a : Casestudy.app) ->
+          let bp =
+            Core.Baseline_params.compute a.Casestudy.plant a.Casestudy.gains
+              ~j_star:a.Casestudy.j_star
+          in
+          Core.Baseline_params.to_spec ~id:i ~name:a.Casestudy.name
+            ~r:a.Casestudy.r bp)
+        Casestudy.all
+    in
+    let sorted =
+      List.map
+        (fun (a : Core.App.t) ->
+          List.find (fun s -> String.equal s.Sched.Baseline.name a.Core.App.name) specs)
+        (Core.Mapping.sort_order apps)
+    in
+    List.iter
+      (fun (strategy, label) ->
+        let slots = Sched.Baseline.first_fit strategy sorted in
+        Format.printf "baseline (%s): %d slots: %s@." label (List.length slots)
+          (String.concat " | "
+             (List.map
+                (fun slot ->
+                  String.concat ","
+                    (List.map (fun s -> s.Sched.Baseline.name) slot))
+                slots)))
+      [ (Sched.Baseline.Dm, "non-preemptive DM"); (Sched.Baseline.Delayed, "delayed requests") ]
+  end;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let write_csv_opt csv contents =
+  match csv with
+  | None -> 0
+  | Some path ->
+    (match Cosim.Export.write_file ~path contents with
+     | Ok () -> Format.printf "wrote %s@." path; 0
+     | Error m -> prerr_endline m; 1)
+
+let simulate_cmd_run names disturbances horizon stride csv =
+  match parse_apps names with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok [] -> prerr_endline "simulate: give at least one application"; 1
+  | Ok apps ->
+    (match
+       List.map
+         (fun spec ->
+           match String.split_on_char ':' spec with
+           | [ k; name ] -> (int_of_string k, name)
+           | _ -> failwith "disturbance must be SAMPLE:APP")
+         disturbances
+     with
+     | exception _ -> prerr_endline "simulate: bad -d (use SAMPLE:APP)"; 1
+     | ds ->
+       let scenario = Cosim.Scenario.make ~apps ~disturbances:ds ~horizon in
+       let trace = Cosim.Engine.run scenario in
+       let csv_rc = write_csv_opt csv (Cosim.Export.trace_csv trace) in
+       if csv_rc <> 0 then exit csv_rc;
+       List.iter print_endline (Cosim.Trace.to_rows trace ~stride);
+       print_newline ();
+       List.iter print_endline (Cosim.Trace.to_gantt trace);
+       Format.printf "requirements met: %b@."
+         (Cosim.Trace.meets_requirements trace apps);
+       List.iter
+         (fun (sample, id) ->
+           match Cosim.Trace.settling_after trace ~id ~sample with
+           | Some j ->
+             Format.printf "%s disturbed at %d: J = %d samples (%.2fs)@."
+               trace.Cosim.Trace.names.(id) sample j
+               (float_of_int j *. trace.Cosim.Trace.h)
+           | None ->
+             Format.printf "%s disturbed at %d: no settling in horizon@."
+               trace.Cosim.Trace.names.(id) sample)
+         trace.Cosim.Trace.disturbances;
+       0)
+
+(* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let sweep_cmd_run name t_w_max t_dw_max csv =
+  match parse_apps [ name ] with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok [ app ] ->
+    let surface =
+      Core.Dwell.surface app.Core.App.plant app.Core.App.gains ~t_w_max ~t_dw_max
+    in
+    let csv_rc =
+      write_csv_opt csv
+        (Cosim.Export.surface_csv surface ~h:app.Core.App.plant.Control.Plant.h)
+    in
+    if csv_rc <> 0 then exit csv_rc;
+    Format.printf "Tw Tdw J(samples)@.";
+    List.iter
+      (fun (t_w, t_dw, j) ->
+        Format.printf "%2d %3d %s@." t_w t_dw
+          (match j with Some j -> string_of_int j | None -> "-"))
+      surface;
+    0
+  | Ok _ -> 1
+
+(* ------------------------------------------------------------------ *)
+(* flexray *)
+
+let flexray_cmd_run () =
+  let cfg = Flexray.Config.default_automotive in
+  Format.printf "%a@." Flexray.Config.pp cfg;
+  let hp =
+    List.init 5 (fun _ ->
+        { Flexray.Wcrt.length_minislots = 20; period_cycles = 5 })
+  in
+  (match Flexray.Wcrt.wcrt_us cfg ~own_id:6 ~own_length:10 hp with
+   | Some w ->
+     Format.printf
+       "control frame (id 6, 10 minislots) under 5 interferers: WCRT = %d us@."
+       w;
+     Format.printf "one-sample-delay assumption at h = 20 ms: %b@."
+       (Flexray.Wcrt.one_sample_delay_ok cfg ~h_us:20_000 ~own_id:6
+          ~own_length:10 hp)
+   | None -> Format.printf "frame can be starved@.");
+  0
+
+(* ------------------------------------------------------------------ *)
+(* design *)
+
+let design_cmd_run name j_star require_cqlf =
+  match parse_apps [ name ] with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok [ app ] ->
+    let plant = app.Core.App.plant in
+    let j_star = Option.value ~default:app.Core.App.j_star j_star in
+    let outcome = Control.Design.search ~require_cqlf plant ~j_star in
+    List.iter
+      (fun (c : Control.Design.candidate) ->
+        Format.printf "kt rho=%.2f  ke %-14s  JT=%-4s JE=%-4s cqlf=%-5b %s@."
+          c.Control.Design.kt_radius c.Control.Design.ke_source
+          (match c.Control.Design.jt with Some j -> string_of_int j | None -> "-")
+          (match c.Control.Design.je with Some j -> string_of_int j | None -> "-")
+          c.Control.Design.switching_stable
+          (match c.Control.Design.verdict with
+           | `Accepted -> "ACCEPTED"
+           | `Rejected r -> r))
+      outcome.Control.Design.trace;
+    (match outcome.Control.Design.gains with
+     | Some g ->
+       Format.printf "@.K_T = %a@.K_E = %a@." Linalg.Vec.pp g.Control.Switched.kt
+         Linalg.Vec.pp g.Control.Switched.ke;
+       (match Core.Dwell.compute plant g ~j_star with
+        | t -> Format.printf "%a@." Core.Dwell.pp t; 0
+        | exception Core.Dwell.Infeasible m ->
+          Format.printf "dimensioning infeasible: %s@." m; 1)
+     | None ->
+       Format.printf "no admissible gain pair found@.";
+       1)
+  | Ok _ -> 1
+
+(* ------------------------------------------------------------------ *)
+(* fleet *)
+
+let fleet_cmd_run count seed =
+  let params = { Core.Fleet.default_params with count; seed } in
+  let apps = Core.Fleet.generate ~params () in
+  List.iter (fun a -> print_endline (Core.Fleet.describe a)) apps;
+  let outcome = Core.Mapping.first_fit apps in
+  Format.printf "%a@." Core.Mapping.pp outcome;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* margins *)
+
+let margins_cmd_run names =
+  match parse_apps names with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok [] -> prerr_endline "margins: give at least one application"; 1
+  | Ok apps ->
+    let report = Core.Margin.analyse ~apps () in
+    Format.printf "%a@." Core.Margin.pp report;
+    if report.Core.Margin.safe then 0 else 2
+
+(* ------------------------------------------------------------------ *)
+(* uppaal *)
+
+let uppaal_cmd_run out names =
+  match parse_apps names with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok [] -> prerr_endline "uppaal: give at least one application"; 1
+  | Ok apps ->
+    let specs = Core.Mapping.specs_of_group apps in
+    (match out with
+     | None -> print_string (Core.Uppaal_export.model specs); 0
+     | Some basename ->
+       (match Core.Uppaal_export.write ~dir:(Filename.dirname basename)
+                ~basename:(Filename.basename basename) specs
+        with
+        | Ok path -> Format.printf "wrote %s (+ .q)@." path; 0
+        | Error m -> prerr_endline m; 1))
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing *)
+
+open Cmdliner
+
+let names_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"APP" ~doc:"Case-study application names (C1..C6).")
+
+let tables_cmd =
+  Cmd.v (Cmd.info "tables" ~doc:"Print the dwell-time tables (Table 1)")
+    Term.(const tables_cmd_run $ names_arg)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("discrete", `Discrete); ("bfs", `Bfs); ("bounded", `Bounded); ("ta", `Ta) ]) `Discrete
+    & info [ "e"; "engine" ] ~doc:"Verification engine: discrete (subsumption), bfs, bounded, or ta (zone-based).")
+
+let bound_arg =
+  Arg.(value & opt int 2 & info [ "k"; "instances" ] ~doc:"Disturbance instances per app for -e bounded.")
+
+let verify_cmd =
+  Cmd.v (Cmd.info "verify" ~doc:"Model-check a slot group")
+    Term.(const verify_cmd_run $ engine_arg $ bound_arg $ names_arg)
+
+let baseline_arg =
+  Arg.(value & flag & info [ "b"; "baseline" ] ~doc:"Also run the DATE'12 baseline packing.")
+
+let optimal_arg =
+  Arg.(value & flag & info [ "optimal" ] ~doc:"Exact minimum-slot partition instead of first-fit.")
+
+let map_cmd =
+  Cmd.v (Cmd.info "map" ~doc:"Slot mapping of the case study (first-fit or exact)")
+    Term.(const map_cmd_run $ baseline_arg $ optimal_arg)
+
+let disturbances_arg =
+  Arg.(value & opt_all string [] & info [ "d"; "disturb" ] ~docv:"SAMPLE:APP" ~doc:"Disturbance arrival, e.g. -d 0:C1.")
+
+let horizon_arg =
+  Arg.(value & opt int 60 & info [ "horizon" ] ~doc:"Samples to simulate.")
+
+let stride_arg =
+  Arg.(value & opt int 1 & info [ "stride" ] ~doc:"Print every Nth sample.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the data as CSV.")
+
+let simulate_cmd =
+  Cmd.v (Cmd.info "simulate" ~doc:"Co-simulate a slot group")
+    Term.(const simulate_cmd_run $ names_arg $ disturbances_arg $ horizon_arg $ stride_arg $ csv_arg)
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Application name.")
+
+let tw_arg = Arg.(value & opt int 10 & info [ "tw" ] ~doc:"Maximum wait to sweep.")
+let tdw_arg = Arg.(value & opt int 10 & info [ "tdw" ] ~doc:"Maximum dwell to sweep.")
+
+let sweep_cmd =
+  Cmd.v (Cmd.info "sweep" ~doc:"Settling-time surface J(Tw, Tdw) (Fig. 3)")
+    Term.(const sweep_cmd_run $ name_arg $ tw_arg $ tdw_arg $ csv_arg)
+
+let flexray_cmd =
+  Cmd.v (Cmd.info "flexray" ~doc:"FlexRay timing sanity checks")
+    Term.(const flexray_cmd_run $ const ())
+
+let jstar_arg =
+  Arg.(value & opt (some int) None & info [ "j" ] ~doc:"Settling budget in samples (defaults to the app's J*).")
+
+let cqlf_arg =
+  Arg.(value & flag & info [ "require-cqlf" ] ~doc:"Reject gain pairs without a common Lyapunov certificate.")
+
+let design_cmd =
+  Cmd.v (Cmd.info "design" ~doc:"Synthesise a switching gain pair for an app's plant")
+    Term.(const design_cmd_run $ name_arg $ jstar_arg $ cqlf_arg)
+
+let count_arg =
+  Arg.(value & opt int 6 & info [ "n" ] ~doc:"Fleet size.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generation seed.")
+
+let fleet_cmd =
+  Cmd.v (Cmd.info "fleet" ~doc:"Generate a synthetic fleet and map it to slots")
+    Term.(const fleet_cmd_run $ count_arg $ seed_arg)
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o" ] ~docv:"PATH" ~doc:"Write PATH.xml and PATH.q instead of stdout.")
+
+let uppaal_cmd =
+  Cmd.v (Cmd.info "uppaal" ~doc:"Export a slot group as an UPPAAL model")
+    Term.(const uppaal_cmd_run $ out_arg $ names_arg)
+
+let margins_cmd =
+  Cmd.v (Cmd.info "margins" ~doc:"Worst-case waits and settling margins of a verified group")
+    Term.(const margins_cmd_run $ names_arg)
+
+let default = Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "cpsdim" ~version:"1.0.0"
+      ~doc:"Tighter dimensioning of TT slots with control performance guarantees"
+  in
+  exit (Cmd.eval' (Cmd.group ~default info [ tables_cmd; verify_cmd; map_cmd; simulate_cmd; sweep_cmd; flexray_cmd; design_cmd; fleet_cmd; uppaal_cmd; margins_cmd ]))

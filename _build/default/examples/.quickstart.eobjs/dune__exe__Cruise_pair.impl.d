@@ -1,0 +1,1 @@
+examples/cruise_pair.ml: Array Casestudy Core Cosim Format List

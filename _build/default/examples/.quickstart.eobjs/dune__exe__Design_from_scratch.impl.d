@@ -1,0 +1,1 @@
+examples/design_from_scratch.ml: Control Core Flexray Format Linalg List Printf

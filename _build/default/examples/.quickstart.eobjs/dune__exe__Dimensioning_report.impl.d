@@ -1,0 +1,1 @@
+examples/dimensioning_report.ml: Casestudy Core Filename Format List Printf

@@ -1,0 +1,1 @@
+examples/dimensioning_report.mli:

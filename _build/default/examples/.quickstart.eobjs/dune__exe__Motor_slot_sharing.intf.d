@@ -1,0 +1,1 @@
+examples/motor_slot_sharing.mli:

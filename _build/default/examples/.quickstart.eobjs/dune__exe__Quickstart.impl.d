@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Casestudy Core Cosim Format List

@@ -1,0 +1,155 @@
+type app = {
+  name : string;
+  plant : Control.Plant.t;
+  gains : Control.Switched.gains;
+  r : int;
+  j_star : int;
+}
+
+type paper_row = {
+  p_jt : int;
+  p_je : int;
+  p_t_w_max : int;
+  p_t_dw_min : int array;
+  p_t_dw_max : int array;
+}
+
+let h = 0.02
+
+let make name phi gamma c kt ke r j_star =
+  let plant =
+    Control.Plant.make ~phi:(Linalg.Mat.of_rows phi)
+      ~gamma:(Linalg.Vec.of_list gamma) ~c:(Linalg.Vec.of_list c) ~h
+  in
+  let gains =
+    Control.Switched.make_gains plant ~kt:(Linalg.Vec.of_list kt)
+      ~ke:(Linalg.Vec.of_list ke)
+  in
+  { name; plant; gains; r; j_star }
+
+(* C1: DC motor position control [13]; paper eqs. (6)-(8) *)
+let c1 =
+  make "C1"
+    [ [ 1.; 0.0182; 0.0068 ]; [ 0.; 0.7664; 0.5186 ]; [ 0.; -0.3260; 0.1011 ] ]
+    [ 0.0015; 0.1944; 0.2717 ]
+    [ 1.; 0.; 0. ]
+    [ 30.; 1.2626; 1.1071 ]
+    [ 13.8921; 0.5773; 0.8672; 1.0866 ]
+    25 18
+
+let c1_unstable_pair =
+  Control.Switched.make_gains c1.plant
+    ~kt:(Linalg.Vec.of_list [ 30.; 1.2626; 1.1071 ])
+    ~ke:(Linalg.Vec.of_list [ 2.9120; -0.6141; -1.0399; 0.1741 ])
+
+(* C2: DC motor position control [10] *)
+let c2 =
+  make "C2"
+    [
+      [ 1.; 0.0117; 0.0001 ];
+      [ 0.; 0.3059; 0.0018 ];
+      [ 0.; -0.0021; -1.2228e-5 ];
+    ]
+    [ 0.2966; 24.8672; 0.0797 ]
+    [ 1.; 0.; 0. ]
+    [ 0.1198; -0.0130; -2.9588 ]
+    [ 0.0864; -0.0128; -1.6833; 0.4059 ]
+    100 25
+
+(* C3: DC motor speed control [3] *)
+let c3 =
+  make "C3"
+    [ [ 0.9900; 0.0065 ]; [ -0.0974; 0.0177 ] ]
+    [ 2.8097; 319.7919 ]
+    [ 1.; 0. ]
+    [ 0.0500; -0.0002 ]
+    [ 0.0336; 0.0004; 0.4453 ]
+    50 20
+
+(* C4: DC motor speed control [10] *)
+let c4 =
+  make "C4"
+    [ [ 0.8187; 0.0178 ]; [ -0.0004; 0.9608 ] ]
+    [ 0.0004; 0.0392 ]
+    [ 1.; 0. ]
+    [ 100.0000; 15.6226 ]
+    [ -77.8275; 24.3161; 1.0265 ]
+    40 19
+
+(* C5: DC motor speed control [12] *)
+let c5 =
+  make "C5"
+    [ [ 0.8187; 0.0156 ]; [ -0.0031; 0.7408 ] ]
+    [ 0.0034; 0.3456 ]
+    [ 1.; 0. ]
+    [ 10.0000; 1.0524 ]
+    [ -2.4223; 0.7014; 0.2950 ]
+    25 18
+
+(* C6: cruise control [10]; phi sign-corrected, see interface note *)
+let c6 =
+  make "C6" [ [ 0.999 ] ] [ 1.999e-5 ] [ 1. ] [ 15000. ] [ 8125.6; 0.8659 ] 100 20
+
+let all = [ c1; c2; c3; c4; c5; c6 ]
+
+let find name =
+  match List.find_opt (fun a -> String.equal a.name name) all with
+  | Some a -> a
+  | None -> raise Not_found
+
+let paper app =
+  match app.name with
+  | "C1" ->
+    {
+      p_jt = 9;
+      p_je = 35;
+      p_t_w_max = 11;
+      p_t_dw_min = [| 3; 4; 3; 3; 3; 3; 3; 3; 3; 4; 4; 5 |];
+      p_t_dw_max = [| 6; 6; 5; 5; 5; 6; 5; 5; 4; 4; 5; 5 |];
+    }
+  | "C2" ->
+    {
+      p_jt = 15;
+      p_je = 50;
+      p_t_w_max = 13;
+      p_t_dw_min = [| 7; 7; 6; 7; 6; 7; 6; 7; 6; 7; 6; 7; 7; 8 |];
+      p_t_dw_max = [| 10; 10; 9; 10; 8; 9; 9; 10; 8; 8; 9; 8; 8; 8 |];
+    }
+  | "C3" ->
+    {
+      p_jt = 10;
+      p_je = 31;
+      p_t_w_max = 15;
+      p_t_dw_min = [| 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4 |];
+      p_t_dw_max = [| 8; 8; 7; 7; 7; 6; 6; 6; 6; 5; 5; 5; 5; 4; 4; 4 |];
+    }
+  | "C4" ->
+    {
+      p_jt = 10;
+      p_je = 31;
+      p_t_w_max = 12;
+      p_t_dw_min = [| 5; 5; 5; 5; 5; 5; 5; 5; 5; 5; 5; 5; 5 |];
+      p_t_dw_max = [| 9; 8; 8; 8; 8; 7; 7; 7; 7; 6; 6; 6; 5 |];
+    }
+  | "C5" ->
+    {
+      p_jt = 10;
+      p_je = 25;
+      p_t_w_max = 12;
+      p_t_dw_min = [| 4; 3; 3; 3; 3; 3; 3; 4; 4; 4; 4; 4; 4 |];
+      p_t_dw_max = [| 9; 8; 7; 8; 7; 6; 7; 6; 5; 5; 4; 4; 4 |];
+    }
+  | "C6" ->
+    {
+      p_jt = 11;
+      p_je = 41;
+      p_t_w_max = 12;
+      p_t_dw_min = [| 7; 8; 7; 8; 7; 8; 7; 8; 7; 8; 7; 8; 8 |];
+      p_t_dw_max = [| 11; 11; 10; 10; 10; 10; 9; 9; 9; 8; 8; 8; 8 |];
+    }
+  | other -> invalid_arg ("Casestudy.paper: unknown application " ^ other)
+
+let paper_slot_partition = [ [ "C1"; "C5"; "C4"; "C3" ]; [ "C6"; "C2" ] ]
+
+let paper_baseline_partition =
+  [ [ "C1"; "C5" ]; [ "C4"; "C3" ]; [ "C6" ]; [ "C2" ] ]

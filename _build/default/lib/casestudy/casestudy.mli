@@ -1,0 +1,60 @@
+(** The six distributed control applications of the paper's case study
+    (Table 1): plant models, switching gains, disturbance inter-arrival
+    times and settling-time budgets, plus the values the paper reports
+    for them (for paper-vs-measured comparison).
+
+    All times are in numbers of samples at [h = 0.02 s].
+
+    Data notes:
+    - C6's state matrix is printed as [-0.999] in the paper, which makes
+      the TT closed loop unstable; the plant is the CTMS cruise-control
+      example whose exact discretisation is [+0.999], so that is what we
+      use (see DESIGN.md).
+    - C1 with the [K^u_E] gain (paper eq. (9)) is exposed as
+      {!c1_unstable_pair} for the switching-stability experiments of
+      Sec. 3.1. *)
+
+type app = {
+  name : string;
+  plant : Control.Plant.t;
+  gains : Control.Switched.gains;
+  r : int;  (** minimum disturbance inter-arrival time, samples *)
+  j_star : int;  (** settling-time requirement, samples *)
+}
+
+type paper_row = {
+  p_jt : int;  (** J_T as reported *)
+  p_je : int;  (** J_E as reported *)
+  p_t_w_max : int;  (** T*_w as reported *)
+  p_t_dw_min : int array;  (** T⁻_dw array, index = T_w *)
+  p_t_dw_max : int array;  (** T⁺_dw array, index = T_w *)
+}
+
+val h : float
+(** The common sampling period, 0.02 s. *)
+
+val c1 : app
+val c2 : app
+val c3 : app
+val c4 : app
+val c5 : app
+val c6 : app
+
+val all : app list
+(** [[c1; c2; c3; c4; c5; c6]]. *)
+
+val find : string -> app
+(** Look up by name ("C1".."C6").  @raise Not_found. *)
+
+val paper : app -> paper_row
+(** The values Table 1 reports for this application. *)
+
+val c1_unstable_pair : Control.Switched.gains
+(** [K_T] with the non-switching-stable [K^u_E] of eq. (9). *)
+
+val paper_slot_partition : string list list
+(** The partition the paper obtains with its method:
+    [[["C1";"C5";"C4";"C3"]; ["C6";"C2"]]]. *)
+
+val paper_baseline_partition : string list list
+(** The 4-slot partition required by the baseline strategy of [9]. *)

@@ -1,0 +1,1 @@
+lib/control/continuous.ml: Linalg Plant

@@ -1,0 +1,1 @@
+lib/control/continuous.mli: Linalg Plant

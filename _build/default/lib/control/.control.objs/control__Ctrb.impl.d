@@ -1,0 +1,1 @@
+lib/control/ctrb.ml: Array Linalg Plant

@@ -1,0 +1,1 @@
+lib/control/ctrb.mli: Linalg Plant

@@ -1,0 +1,1 @@
+lib/control/design.ml: Ctrb Linalg List Lqr Plant Pole_place Printf Settle String Switch_stab Switched

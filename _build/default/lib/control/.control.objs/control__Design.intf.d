@@ -1,0 +1,1 @@
+lib/control/design.mli: Plant Switched

@@ -1,0 +1,1 @@
+lib/control/lqr.ml: Feedback Float Linalg Plant

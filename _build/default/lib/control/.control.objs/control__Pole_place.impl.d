@@ -1,0 +1,1 @@
+lib/control/pole_place.ml: Array Ctrb Feedback Linalg List Plant Printf

@@ -1,0 +1,1 @@
+lib/control/pole_place.mli: Linalg Plant

@@ -1,0 +1,1 @@
+lib/control/switch_stab.ml: Feedback Format Linalg Switched

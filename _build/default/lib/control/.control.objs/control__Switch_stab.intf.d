@@ -1,0 +1,1 @@
+lib/control/switch_stab.mli: Format Linalg Plant Switched

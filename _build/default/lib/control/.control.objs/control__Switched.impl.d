@@ -1,0 +1,1 @@
+lib/control/switched.ml: Array Format Linalg Plant

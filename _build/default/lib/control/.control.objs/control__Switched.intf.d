@@ -1,0 +1,1 @@
+lib/control/switched.mli: Format Linalg Plant

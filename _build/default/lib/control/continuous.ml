@@ -1,0 +1,40 @@
+type t = { a : Linalg.Mat.t; b : Linalg.Vec.t; c : Linalg.Vec.t }
+
+let make ~a ~b ~c =
+  if not (Linalg.Mat.is_square a) then invalid_arg "Continuous.make: a not square";
+  let n = Linalg.Mat.rows a in
+  if Linalg.Vec.dim b <> n || Linalg.Vec.dim c <> n then
+    invalid_arg "Continuous.make: dimension mismatch";
+  { a; b; c }
+
+let discretize t ~h =
+  if h <= 0. then invalid_arg "Continuous.discretize: non-positive h";
+  let phi, integral = Linalg.Expm.expm_with_integral t.a h in
+  let gamma = Linalg.Mat.mul_vec integral t.b in
+  Plant.make ~phi ~gamma ~c:(Linalg.Vec.copy t.c) ~h
+
+(* Armature-controlled DC motor (CTMS parameters):
+     J theta'' + b theta' = K i
+     L i' + R i = V - K theta'
+   position states [theta; omega; i], speed states [omega; i]. *)
+let dc_motor_position ?(j = 0.01) ?(b = 0.1) ?(k = 0.01) ?(r = 1.) ?(l = 0.5) () =
+  let a =
+    Linalg.Mat.of_rows
+      [
+        [ 0.; 1.; 0. ];
+        [ 0.; -.b /. j; k /. j ];
+        [ 0.; -.k /. l; -.r /. l ];
+      ]
+  in
+  make ~a ~b:[| 0.; 0.; 1. /. l |] ~c:[| 1.; 0.; 0. |]
+
+let dc_motor_speed ?(j = 0.01) ?(b = 0.1) ?(k = 0.01) ?(r = 1.) ?(l = 0.5) () =
+  let a =
+    Linalg.Mat.of_rows [ [ -.b /. j; k /. j ]; [ -.k /. l; -.r /. l ] ]
+  in
+  make ~a ~b:[| 0.; 1. /. l |] ~c:[| 1.; 0. |]
+
+let cruise_control ?(m = 1000.) ?(b = 50.) () =
+  make
+    ~a:(Linalg.Mat.of_rows [ [ -.b /. m ] ])
+    ~b:[| 1. /. m |] ~c:[| 1. |]

@@ -1,0 +1,35 @@
+(** Continuous-time LTI models and zero-order-hold discretisation.
+
+    The paper's plants are continuous physical models (DC motors, a
+    vehicle's longitudinal dynamics) sampled at [h = 0.02 s]:
+
+    {[ xdot = a x + b u,   y = c x ]}
+
+    Under a zero-order hold the exact discretisation is
+    [phi = e^{a h}] and [gamma = (\int_0^h e^{a s} ds) b]. *)
+
+type t = { a : Linalg.Mat.t; b : Linalg.Vec.t; c : Linalg.Vec.t }
+
+val make : a:Linalg.Mat.t -> b:Linalg.Vec.t -> c:Linalg.Vec.t -> t
+(** @raise Invalid_argument on dimension mismatches. *)
+
+val discretize : t -> h:float -> Plant.t
+(** Exact zero-order-hold sampling.  @raise Invalid_argument on
+    [h <= 0]. *)
+
+val dc_motor_position :
+  ?j:float -> ?b:float -> ?k:float -> ?r:float -> ?l:float -> unit -> t
+(** The classic armature-controlled DC-motor position model (states:
+    shaft angle, angular velocity, armature current; CTMS/[13]-style
+    parameters by default: J = 0.01, b = 0.1, K = 0.01, R = 1,
+    L = 0.5). *)
+
+val dc_motor_speed :
+  ?j:float -> ?b:float -> ?k:float -> ?r:float -> ?l:float -> unit -> t
+(** The speed variant (states: angular velocity, armature current). *)
+
+val cruise_control : ?m:float -> ?b:float -> unit -> t
+(** First-order vehicle longitudinal model [v' = (u - b v)/m]
+    (CTMS defaults m = 1000 kg, b = 50 N s/m) — the paper's C6, whose
+    exact discretisation at 0.02 s has [phi = e^{-0.001} = +0.999]
+    (the printed Table 1 sign is a typo; see DESIGN.md). *)

@@ -1,0 +1,13 @@
+let matrix a b =
+  if not (Linalg.Mat.is_square a) then invalid_arg "Ctrb.matrix: non-square";
+  let n = Linalg.Mat.rows a in
+  if Linalg.Vec.dim b <> n then invalid_arg "Ctrb.matrix: dimension mismatch";
+  let cols = Array.make n b in
+  for k = 1 to n - 1 do
+    cols.(k) <- Linalg.Mat.mul_vec a cols.(k - 1)
+  done;
+  Linalg.Mat.init n n (fun i j -> cols.(j).(i))
+
+let is_controllable ?tol a b = Linalg.Lu.rank ?tol (matrix a b) = Linalg.Mat.rows a
+
+let of_plant p = matrix p.Plant.phi p.Plant.gamma

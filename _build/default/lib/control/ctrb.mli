@@ -1,0 +1,11 @@
+(** Controllability analysis for single-input systems. *)
+
+val matrix : Linalg.Mat.t -> Linalg.Vec.t -> Linalg.Mat.t
+(** [matrix a b] is the controllability matrix
+    [[b, a b, a^2 b, ..., a^(n-1) b]]. *)
+
+val is_controllable : ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> bool
+(** Full numerical rank of the controllability matrix. *)
+
+val of_plant : Plant.t -> Linalg.Mat.t
+(** Controllability matrix of a plant's [(phi, gamma)] pair. *)

@@ -1,0 +1,32 @@
+let closed_loop_tt p kt =
+  let n = Plant.order p in
+  if Linalg.Vec.dim kt <> n then invalid_arg "Feedback.closed_loop_tt: gain dimension";
+  Linalg.Mat.sub p.Plant.phi (Linalg.Mat.outer p.Plant.gamma kt)
+
+let augmented_open_loop p =
+  let n = Plant.order p in
+  let phi_a =
+    Linalg.Mat.init (n + 1) (n + 1) (fun i j ->
+        if i < n && j < n then Linalg.Mat.get p.Plant.phi i j
+        else if i < n && j = n then p.Plant.gamma.(i)
+        else 0.)
+  in
+  let gamma_a = Linalg.Vec.init (n + 1) (fun i -> if i = n then 1. else 0.) in
+  (phi_a, gamma_a)
+
+let closed_loop_et p ke =
+  let n = Plant.order p in
+  if Linalg.Vec.dim ke <> n + 1 then
+    invalid_arg "Feedback.closed_loop_et: gain dimension";
+  let phi_a, gamma_a = augmented_open_loop p in
+  Linalg.Mat.sub phi_a (Linalg.Mat.outer gamma_a ke)
+
+let closed_loop_tt_augmented p kt =
+  let n = Plant.order p in
+  if Linalg.Vec.dim kt <> n then
+    invalid_arg "Feedback.closed_loop_tt_augmented: gain dimension";
+  let cl = closed_loop_tt p kt in
+  Linalg.Mat.init (n + 1) (n + 1) (fun i j ->
+      if i < n && j < n then Linalg.Mat.get cl i j
+      else if i = n && j < n then -.kt.(j)
+      else 0.)

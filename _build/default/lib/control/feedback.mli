@@ -1,0 +1,29 @@
+(** State-feedback closed loops for the two communication modes.
+
+    Mode [MT] (time-triggered slot, negligible delay, paper eqs. (2)-(3)):
+    {[ u[k] = -K_T x[k]        =>  x[k+1] = (phi - gamma K_T) x[k] ]}
+
+    Mode [ME] (event-triggered, one-sample delay, paper eqs. (4)-(5)):
+    the state is augmented with the previous input,
+    [z[k] = [x[k]; u[k-1]]], and [u[k] = -K_E z[k]]. *)
+
+val closed_loop_tt : Plant.t -> Linalg.Vec.t -> Linalg.Mat.t
+(** [closed_loop_tt p kt] is [phi - gamma kt].
+    @raise Invalid_argument if [dim kt <> order p]. *)
+
+val augmented_open_loop : Plant.t -> Linalg.Mat.t * Linalg.Vec.t
+(** The delay-augmented open loop [(Phi_a, Gamma_a)] with state
+    [z = [x; u_prev]]:
+    {[ Phi_a = [phi gamma; 0 0],   Gamma_a = [0; ...; 0; 1] ]}
+    so that [z[k+1] = Phi_a z[k] + Gamma_a u[k]]. *)
+
+val closed_loop_et : Plant.t -> Linalg.Vec.t -> Linalg.Mat.t
+(** [closed_loop_et p ke] is the (n+1)x(n+1) closed loop
+    [Phi_a - Gamma_a ke] of the delayed mode.
+    @raise Invalid_argument if [dim ke <> order p + 1]. *)
+
+val closed_loop_tt_augmented : Plant.t -> Linalg.Vec.t -> Linalg.Mat.t
+(** The TT closed loop expressed on the augmented state [z = [x; u_prev]]
+    (so that both modes share one state space, as needed for the common
+    Lyapunov switching-stability test):
+    {[ z[k+1] = [ (phi - gamma K_T) x[k] ; -K_T x[k] ] ]} *)

@@ -1,0 +1,49 @@
+exception No_convergence
+
+let solve ?(max_iter = 10_000) ?(tol = 1e-12) ~a ~b ~q ~r () =
+  if not (Linalg.Mat.is_square a) then invalid_arg "Lqr.solve: a not square";
+  let n = Linalg.Mat.rows a in
+  if Linalg.Vec.dim b <> n then invalid_arg "Lqr.solve: b dimension";
+  if Linalg.Mat.rows q <> n || Linalg.Mat.cols q <> n then
+    invalid_arg "Lqr.solve: q shape";
+  if r <= 0. then invalid_arg "Lqr.solve: r must be positive";
+  let at = Linalg.Mat.transpose a in
+  let gain_of p =
+    (* k = (r + bᵀ p b)⁻¹ bᵀ p a  — scalar denominator for single input *)
+    let pb = Linalg.Mat.mul_vec p b in
+    let denom = r +. Linalg.Vec.dot b pb in
+    let bpa = Linalg.Mat.mul_vec (Linalg.Mat.transpose a) pb in
+    Linalg.Vec.scale (1. /. denom) bpa
+  in
+  let iterate p =
+    let k = gain_of p in
+    (* p' = q + aᵀ p a - aᵀ p b k  (with k as above) *)
+    let pa = Linalg.Mat.mul p a in
+    let apa = Linalg.Mat.mul at pa in
+    let pb = Linalg.Mat.mul_vec p b in
+    let apb = Linalg.Mat.mul_vec at pb in
+    let correction = Linalg.Mat.outer apb k in
+    Linalg.Mat.add q (Linalg.Mat.sub apa correction)
+  in
+  let rec loop p i =
+    if i >= max_iter then raise No_convergence;
+    let p' = iterate p in
+    if Linalg.Mat.norm_fro (Linalg.Mat.sub p' p)
+       <= tol *. Float.max 1. (Linalg.Mat.norm_fro p')
+    then p'
+    else loop p' (i + 1)
+  in
+  let p = loop q 0 in
+  (gain_of p, p)
+
+let gain_tt ?q ?(r = 1.) p =
+  let n = Plant.order p in
+  let q = match q with Some q -> q | None -> Linalg.Mat.identity n in
+  fst (solve ~a:p.Plant.phi ~b:p.Plant.gamma ~q ~r ())
+
+let gain_et ?q ?(r = 1.) p =
+  let phi_a, gamma_a = Feedback.augmented_open_loop p in
+  let q =
+    match q with Some q -> q | None -> Linalg.Mat.identity (Plant.order p + 1)
+  in
+  fst (solve ~a:phi_a ~b:gamma_a ~q ~r ())

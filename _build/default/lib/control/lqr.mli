@@ -1,0 +1,27 @@
+(** Infinite-horizon discrete LQR for single-input systems, solved by
+    value iteration on the Riccati recursion.  Used as an alternative to
+    pole placement when designing [K_T]/[K_E] gains for new plants. *)
+
+exception No_convergence
+
+val solve :
+  ?max_iter:int ->
+  ?tol:float ->
+  a:Linalg.Mat.t ->
+  b:Linalg.Vec.t ->
+  q:Linalg.Mat.t ->
+  r:float ->
+  unit ->
+  Linalg.Vec.t * Linalg.Mat.t
+(** [solve ~a ~b ~q ~r ()] returns [(k, p)] where [u = -k x] minimises
+    [sum (xᵀ q x + r u²)] and [p] is the Riccati fixed point.
+    @raise No_convergence after [max_iter] (default 10_000) iterations.
+    @raise Invalid_argument on shape errors or [r <= 0]. *)
+
+val gain_tt : ?q:Linalg.Mat.t -> ?r:float -> Plant.t -> Linalg.Vec.t
+(** LQR gain for the undelayed mode ([q] defaults to the identity,
+    [r] to 1). *)
+
+val gain_et : ?q:Linalg.Mat.t -> ?r:float -> Plant.t -> Linalg.Vec.t
+(** LQR gain for the delay-augmented mode; [q] defaults to the identity
+    on the augmented state. *)

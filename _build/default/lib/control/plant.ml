@@ -1,0 +1,32 @@
+type t = {
+  phi : Linalg.Mat.t;
+  gamma : Linalg.Vec.t;
+  c : Linalg.Vec.t;
+  h : float;
+}
+
+let make ~phi ~gamma ~c ~h =
+  if not (Linalg.Mat.is_square phi) then invalid_arg "Plant.make: phi not square";
+  let n = Linalg.Mat.rows phi in
+  if Linalg.Vec.dim gamma <> n then invalid_arg "Plant.make: gamma dimension";
+  if Linalg.Vec.dim c <> n then invalid_arg "Plant.make: c dimension";
+  if h <= 0. then invalid_arg "Plant.make: non-positive sampling period";
+  { phi; gamma; c; h }
+
+let order p = Linalg.Mat.rows p.phi
+
+let step p x u =
+  Linalg.Vec.axpy u p.gamma (Linalg.Mat.mul_vec p.phi x)
+
+let output p x = Linalg.Vec.dot p.c x
+
+let scalar ~phi ~gamma ~c ~h =
+  make
+    ~phi:(Linalg.Mat.of_rows [ [ phi ] ])
+    ~gamma:[| gamma |] ~c:[| c |] ~h
+
+let is_open_loop_stable p = Linalg.Eig.is_schur_stable p.phi
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>plant (n=%d, h=%gs)@,phi =@,%a@,gamma = %a@,c = %a@]"
+    (order p) p.h Linalg.Mat.pp p.phi Linalg.Vec.pp p.gamma Linalg.Vec.pp p.c

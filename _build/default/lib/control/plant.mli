@@ -1,0 +1,33 @@
+(** Discrete-time single-input single-output LTI plants,
+
+    {[ x[k+1] = phi x[k] + gamma u[k],    y[k] = c x[k] ]}
+
+    sampled with a fixed period [h] (paper eq. (1)). *)
+
+type t = private {
+  phi : Linalg.Mat.t;  (** state matrix, n x n *)
+  gamma : Linalg.Vec.t;  (** input column, dimension n *)
+  c : Linalg.Vec.t;  (** output row, dimension n *)
+  h : float;  (** sampling period in seconds *)
+}
+
+val make : phi:Linalg.Mat.t -> gamma:Linalg.Vec.t -> c:Linalg.Vec.t -> h:float -> t
+(** @raise Invalid_argument if [phi] is not square, the vector
+    dimensions disagree with it, or [h <= 0]. *)
+
+val order : t -> int
+(** State dimension [n]. *)
+
+val step : t -> Linalg.Vec.t -> float -> Linalg.Vec.t
+(** [step p x u] is [phi x + gamma u]. *)
+
+val output : t -> Linalg.Vec.t -> float
+(** [output p x] is [c x]. *)
+
+val scalar : phi:float -> gamma:float -> c:float -> h:float -> t
+(** Convenience constructor for first-order plants. *)
+
+val is_open_loop_stable : t -> bool
+(** Schur stability of [phi]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+exception Uncontrollable
+
+let ackermann a b p =
+  let n = Linalg.Mat.rows a in
+  let p = Linalg.Poly.trim p in
+  if Linalg.Poly.degree p <> n || p.(n) <> 1. then
+    invalid_arg "Pole_place.ackermann: polynomial must be monic of degree n";
+  let ctrb = Ctrb.matrix a b in
+  let pa = Linalg.Poly.eval_mat p a in
+  (* k = e_nᵀ C⁻¹ p(A); solve Cᵀ w = e_n then k = wᵀ p(A) *)
+  let en = Linalg.Vec.basis n (n - 1) in
+  let w =
+    try Linalg.Lu.solve (Linalg.Mat.transpose ctrb) en
+    with Linalg.Lu.Singular -> raise Uncontrollable
+  in
+  Linalg.Mat.mul_vec (Linalg.Mat.transpose pa) w
+
+let expand_poles poles =
+  List.concat_map
+    (fun (re, im) -> if im = 0. then [ (re, 0.) ] else [ (re, im); (re, -.im) ])
+    poles
+
+let desired_poly n poles =
+  let expanded = expand_poles poles in
+  if List.length expanded <> n then
+    invalid_arg
+      (Printf.sprintf "Pole_place.place: %d poles given (conjugates counted), %d needed"
+         (List.length expanded) n);
+  (* rebuild from the upper-half-plane representatives so the product is
+     real *)
+  let reps =
+    List.filter (fun (_, im) -> im >= 0.) expanded
+    |> List.map (fun (re, im) -> (re, im))
+  in
+  Linalg.Poly.from_conjugate_pairs reps
+
+let place a b poles =
+  let n = Linalg.Mat.rows a in
+  ackermann a b (desired_poly n poles)
+
+let place_tt p poles = place p.Plant.phi p.Plant.gamma poles
+
+let place_et p poles =
+  let phi_a, gamma_a = Feedback.augmented_open_loop p in
+  place phi_a gamma_a poles

@@ -1,0 +1,29 @@
+(** Pole placement for single-input discrete-time systems via
+    Ackermann's formula,
+
+    {[ K = [0 ... 0 1] C(a,b)^{-1} p(a) ]}
+
+    where [C] is the controllability matrix and [p] the desired monic
+    characteristic polynomial.  This is the "optimisation-driven
+    pole-placement" primitive the paper delegates to [2]. *)
+
+exception Uncontrollable
+
+val ackermann : Linalg.Mat.t -> Linalg.Vec.t -> Linalg.Poly.t -> Linalg.Vec.t
+(** [ackermann a b p] is the gain [k] such that the closed loop
+    [a - b k] has characteristic polynomial [p] (monic, degree n).
+    @raise Uncontrollable when [(a, b)] is not controllable.
+    @raise Invalid_argument when [p] is not monic of degree n. *)
+
+val place : Linalg.Mat.t -> Linalg.Vec.t -> (float * float) list -> Linalg.Vec.t
+(** [place a b poles] places the closed-loop eigenvalues at the given
+    complex numbers (given as [(re, im)]; entries with [im <> 0] denote
+    a conjugate *pair* and count twice).  The total count of placed
+    poles must equal [n]. *)
+
+val place_tt : Plant.t -> (float * float) list -> Linalg.Vec.t
+(** Design a [K_T] for the undelayed TT mode of a plant. *)
+
+val place_et : Plant.t -> (float * float) list -> Linalg.Vec.t
+(** Design a [K_E] for the one-sample-delay ET mode (augmented system);
+    the pole list must cover [n + 1] eigenvalues. *)

@@ -1,0 +1,29 @@
+type verdict =
+  | Common_lyapunov of Linalg.Mat.t
+  | Stable_modes
+  | Unstable_mode of Switched.mode
+
+let closed_loops p (g : Switched.gains) =
+  ( Feedback.closed_loop_tt_augmented p g.kt,
+    Feedback.closed_loop_et p g.ke )
+
+let analyze p g =
+  let a_tt, a_et = closed_loops p g in
+  if not (Linalg.Eig.is_schur_stable a_tt) then Unstable_mode Switched.Mt
+  else if not (Linalg.Eig.is_schur_stable a_et) then Unstable_mode Switched.Me
+  else
+    match Linalg.Lyapunov.common_lyapunov a_tt a_et with
+    | Some cert -> Common_lyapunov cert
+    | None -> Stable_modes
+
+let is_switching_stable p g =
+  match analyze p g with
+  | Common_lyapunov _ -> true
+  | Stable_modes | Unstable_mode _ -> false
+
+let pp_verdict ppf = function
+  | Common_lyapunov _ -> Format.pp_print_string ppf "common Lyapunov certificate"
+  | Stable_modes ->
+    Format.pp_print_string ppf "modes individually stable, no common certificate found"
+  | Unstable_mode m ->
+    Format.fprintf ppf "mode %a unstable" Switched.pp_mode m

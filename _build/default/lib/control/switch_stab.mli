@@ -1,0 +1,33 @@
+(** Switching-stability test for a [K_T]/[K_E] gain pair.
+
+    The paper requires the two closed-loop modes to admit a common
+    quadratic Lyapunov function so that switching cannot pump energy
+    into the plant (Sec. 3, citing Lin & Antsaklis).  Both modes are
+    expressed on the augmented state [z = [x; u_prev]] (see
+    {!Feedback.closed_loop_tt_augmented}), which is the state actually
+    shared across a switch.
+
+    Note the TT closed loop on the augmented space is singular (the
+    [u_prev] column is zero), so strict common-Lyapunov decrease is
+    tested with the ET-mode certificate and convex combinations; the
+    verdict [CommonLyapunov] is a sufficient certificate, [StableModes]
+    means both modes are individually Schur but no common certificate
+    was found, and [UnstableMode] means at least one mode is itself
+    unstable. *)
+
+type verdict =
+  | Common_lyapunov of Linalg.Mat.t
+      (** certificate [P]: positive definite with [AᵢᵀPAᵢ - P < 0] for
+          both modes *)
+  | Stable_modes
+  | Unstable_mode of Switched.mode
+
+val closed_loops : Plant.t -> Switched.gains -> Linalg.Mat.t * Linalg.Mat.t
+(** [(a_tt, a_et)] on the common augmented state space. *)
+
+val analyze : Plant.t -> Switched.gains -> verdict
+
+val is_switching_stable : Plant.t -> Switched.gains -> bool
+(** [true] only for {!Common_lyapunov}. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

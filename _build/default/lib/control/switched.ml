@@ -1,0 +1,45 @@
+type mode = Mt | Me
+
+type gains = { kt : Linalg.Vec.t; ke : Linalg.Vec.t }
+
+type state = { x : Linalg.Vec.t; u_prev : float }
+
+let make_gains p ~kt ~ke =
+  let n = Plant.order p in
+  if Linalg.Vec.dim kt <> n then invalid_arg "Switched.make_gains: kt dimension";
+  if Linalg.Vec.dim ke <> n + 1 then invalid_arg "Switched.make_gains: ke dimension";
+  { kt; ke }
+
+let initial ?(u_prev = 0.) x = { x; u_prev }
+
+let disturbed p = initial (Linalg.Vec.basis (Plant.order p) 0)
+
+let step p g mode s =
+  match mode with
+  | Mt ->
+    let u = -.Linalg.Vec.dot g.kt s.x in
+    { x = Plant.step p s.x u; u_prev = u }
+  | Me ->
+    let z = Linalg.Vec.concat s.x [| s.u_prev |] in
+    let u_cmd = -.Linalg.Vec.dot g.ke z in
+    { x = Plant.step p s.x s.u_prev; u_prev = u_cmd }
+
+let output p s = Plant.output p s.x
+
+let run_states p g mode_at s0 horizon =
+  if horizon < 0 then invalid_arg "Switched.run: negative horizon";
+  let states = Array.make (horizon + 1) s0 in
+  for k = 0 to horizon - 1 do
+    states.(k + 1) <- step p g (mode_at k) states.(k)
+  done;
+  states
+
+let run p g mode_at s0 horizon =
+  Array.map (output p) (run_states p g mode_at s0 horizon)
+
+let mode_equal a b =
+  match (a, b) with Mt, Mt | Me, Me -> true | Mt, Me | Me, Mt -> false
+
+let pp_mode ppf = function
+  | Mt -> Format.pp_print_string ppf "MT"
+  | Me -> Format.pp_print_string ppf "ME"

@@ -1,0 +1,49 @@
+(** The bi-modal switched closed loop at the heart of the paper.
+
+    In mode {!Mt} the application owns a TT slot: the fresh measurement
+    reaches the actuator within the sample, so [u[k] = -K_T x[k]]
+    applies immediately.  In mode {!Me} the message rides the dynamic
+    segment and the worst case costs one full sample: the input applied
+    at sample [k] is the command computed at [k-1], and the new command
+    is computed from the augmented state [z[k] = [x[k]; u[k-1]]].
+
+    The hybrid state [(x, u_prev)] is shared between the modes, so
+    switching at any sample is well defined: the last actuated value is
+    held across the switch. *)
+
+type mode = Mt  (** time-triggered slot, fast gain [K_T] *)
+          | Me  (** event-triggered channel, slow gain [K_E] *)
+
+type gains = {
+  kt : Linalg.Vec.t;  (** dimension [n] *)
+  ke : Linalg.Vec.t;  (** dimension [n + 1] *)
+}
+
+type state = { x : Linalg.Vec.t; u_prev : float }
+
+val make_gains : Plant.t -> kt:Linalg.Vec.t -> ke:Linalg.Vec.t -> gains
+(** @raise Invalid_argument on gain dimension mismatch. *)
+
+val initial : ?u_prev:float -> Linalg.Vec.t -> state
+(** Initial hybrid state; [u_prev] defaults to [0.] (actuator at rest). *)
+
+val disturbed : Plant.t -> state
+(** The canonical post-disturbance state of the paper's experiments:
+    [x = [1 0 ... 0]ᵀ], [u_prev = 0]. *)
+
+val step : Plant.t -> gains -> mode -> state -> state
+(** One sampling period in the given mode. *)
+
+val output : Plant.t -> state -> float
+
+val run : Plant.t -> gains -> (int -> mode) -> state -> int -> float array
+(** [run p g mode_at s0 horizon] simulates [horizon] samples starting
+    from [s0], where sample [k] evolves in mode [mode_at k]; returns the
+    output trace [y[0..horizon]] (length [horizon + 1], including the
+    initial output). *)
+
+val run_states : Plant.t -> gains -> (int -> mode) -> state -> int -> state array
+(** Like {!run} but returning the full hybrid states. *)
+
+val mode_equal : mode -> mode -> bool
+val pp_mode : Format.formatter -> mode -> unit

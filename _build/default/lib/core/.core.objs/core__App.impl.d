@@ -1,0 +1,1 @@
+lib/core/app.ml: Control Dwell Format Sched

@@ -1,0 +1,1 @@
+lib/core/baseline_params.ml: Control Dwell Int Option Printf Sched

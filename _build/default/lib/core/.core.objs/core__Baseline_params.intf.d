@@ -1,0 +1,1 @@
+lib/core/baseline_params.mli: Control Sched

@@ -1,0 +1,1 @@
+lib/core/dverify.ml: Array Format Hashtbl List Obj Option Printf Queue Sched String Unix

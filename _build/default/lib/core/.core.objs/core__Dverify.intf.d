@@ -1,0 +1,1 @@
+lib/core/dverify.mli: Format Sched

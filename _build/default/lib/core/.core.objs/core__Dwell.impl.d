@@ -1,0 +1,1 @@
+lib/core/dwell.ml: Array Control Format Int Linalg List Result Strategy

@@ -1,0 +1,1 @@
+lib/core/dwell.mli: Control Format

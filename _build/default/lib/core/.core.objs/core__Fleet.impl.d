@@ -1,0 +1,1 @@
+lib/core/fleet.ml: App Array Control Dwell Int Linalg List Printf Random

@@ -1,0 +1,1 @@
+lib/core/fleet.mli: App

@@ -1,0 +1,1 @@
+lib/core/mapping.ml: App Array Dverify Dwell Format Int List Option Sched String

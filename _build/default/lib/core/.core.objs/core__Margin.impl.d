@@ -1,0 +1,1 @@
+lib/core/margin.ml: App Array Dverify Dwell Format Int List Mapping Strategy

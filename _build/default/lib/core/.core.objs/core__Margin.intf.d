@@ -1,0 +1,1 @@
+lib/core/margin.mli: App Format Sched

@@ -1,0 +1,1 @@
+lib/core/ta_model.ml: Array Int List Printf Sched Ta

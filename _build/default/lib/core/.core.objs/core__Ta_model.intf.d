@@ -1,0 +1,1 @@
+lib/core/ta_model.mli: Sched Ta

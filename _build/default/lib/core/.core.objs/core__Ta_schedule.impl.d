@@ -1,0 +1,1 @@
+lib/core/ta_schedule.ml: Array Hashtbl List Printf Sched String Ta Ta_model

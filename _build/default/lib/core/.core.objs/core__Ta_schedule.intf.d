@@ -1,0 +1,1 @@
+lib/core/ta_schedule.mli: Sched

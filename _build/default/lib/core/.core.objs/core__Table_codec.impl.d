@@ -1,0 +1,1 @@
+lib/core/table_codec.ml: Array Dwell Int List Printf Result String

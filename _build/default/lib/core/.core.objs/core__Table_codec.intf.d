@@ -1,0 +1,1 @@
+lib/core/table_codec.mli: Dwell

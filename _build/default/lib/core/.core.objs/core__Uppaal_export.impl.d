@@ -1,0 +1,1 @@
+lib/core/uppaal_export.ml: Array Buffer Filename Fun Int List Printf Sched String

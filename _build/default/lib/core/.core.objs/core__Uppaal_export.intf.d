@@ -1,0 +1,1 @@
+lib/core/uppaal_export.mli: Sched

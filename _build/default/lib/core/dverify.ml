@@ -1,0 +1,252 @@
+type verdict = Safe | Unsafe of counterexample
+
+and counterexample = {
+  steps : (int list * Sched.Slot_state.t) list;
+  failing : int list;
+}
+
+type stats = {
+  states : int;
+  transitions : int;
+  elapsed : float;
+  max_wait : int array;
+}
+
+type result = { verdict : verdict; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+(* Adversary moves: all subsets of the currently steady applications,
+   in every service-relevant arrival order.  The EDF insertion is
+   deterministic except among simultaneous arrivals with equal T*_w, so
+   only permutations within equal-T*_w groups are enumerated. *)
+
+(* Applications that may legally be disturbed at the coming tick: those
+   already steady, plus those whose quiet period expires exactly at the
+   tick (the Safe -> Steady transition fires before disturbances are
+   admitted, so an arrival at that very instant is admissible — the TA
+   model allows it and the discrete engine must too). *)
+let disturbable_ids (specs : Sched.Appspec.t array) state =
+  let acc = ref [] in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | Sched.Slot_state.Steady -> acc := i :: !acc
+      | Sched.Slot_state.Safe { age } when age + 1 >= specs.(i).Sched.Appspec.r ->
+        acc := i :: !acc
+      | Sched.Slot_state.Waiting _ | Running _ | Safe _ | Error -> ())
+    state.Sched.Slot_state.phases;
+  List.rev !acc
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let tails = subsets rest in
+    tails @ List.map (fun t -> x :: t) tails
+
+(* arrival orders of [subset] that can produce distinct buffers *)
+let arrival_orders (specs : Sched.Appspec.t array) subset =
+  let groups = Hashtbl.create 4 in
+  List.iter
+    (fun id ->
+      let key = specs.(id).Sched.Appspec.t_w_max in
+      Hashtbl.replace groups key
+        (id :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+    subset;
+  let keys =
+    List.sort_uniq compare (Hashtbl.fold (fun k _ acc -> k :: acc) groups [])
+  in
+  let per_group = List.map (fun k -> permutations (Hashtbl.find groups k)) keys in
+  List.fold_left
+    (fun acc perms ->
+      List.concat_map (fun prefix -> List.map (fun p -> prefix @ p) perms) acc)
+    [ [] ] per_group
+
+(* ------------------------------------------------------------------ *)
+(* Generic explorer.  A node is a slot state plus (in bounded mode) the
+   per-application remaining disturbance budgets.  With [subsume] on,
+   states are pruned by the quiet-age antichain: a state whose [Safe]
+   applications are all at least as old in some explored state (with an
+   otherwise identical configuration) admits a subset of its behaviours
+   and need not be expanded.  The pruning is exact for
+   error-reachability. *)
+
+type node = { st : Sched.Slot_state.t; budget : int array }
+
+(* The default polymorphic hash inspects only ~10 nodes, which makes
+   structurally similar scheduler states collide heavily; hash deeply. *)
+module Deep_tbl = Hashtbl.Make (struct
+  type t = Obj.t
+
+  let equal = ( = )
+  let hash k = Hashtbl.hash_param 1000 1000 k
+end)
+
+let deep_mem tbl k = Deep_tbl.mem tbl (Obj.repr k)
+let deep_add tbl k v = Deep_tbl.replace tbl (Obj.repr k) v
+let deep_find_opt tbl k = Deep_tbl.find_opt tbl (Obj.repr k)
+
+let explore ~policy ~subsume ~instances specs =
+  let t0 = Unix.gettimeofday () in
+  let n = Array.length specs in
+  let max_wait = Array.make n (-1) in
+  let bounded = instances <> None in
+  let initial_budget =
+    match instances with Some k -> Array.make n k | None -> [||]
+  in
+  (* in bounded mode, an application with no budget left can never be
+     disturbed again, so its quiet countdown is behaviourally inert *)
+  let normalize st budget =
+    if bounded then
+      Sched.Slot_state.force_steady st ~keep_quiet:(fun i -> budget.(i) > 0)
+    else st
+  in
+  let initial =
+    { st = Sched.Slot_state.initial specs; budget = initial_budget }
+  in
+  let visited : unit Deep_tbl.t = Deep_tbl.create 4096 in
+  let parents : (node * int list) Deep_tbl.t = Deep_tbl.create 4096 in
+  let chains : int array list Deep_tbl.t = Deep_tbl.create 4096 in
+  let abstract node =
+    let st = node.st in
+    let ages = Array.make (Array.length st.Sched.Slot_state.phases) (-1) in
+    let masked =
+      Array.mapi
+        (fun i p ->
+          match p with
+          | Sched.Slot_state.Safe { age } ->
+            ages.(i) <- age;
+            Sched.Slot_state.Safe { age = 0 }
+          | Sched.Slot_state.Steady | Waiting _ | Running _ | Error -> p)
+        st.Sched.Slot_state.phases
+    in
+    ((masked, st.buffer, st.owner, node.budget), ages)
+  in
+  let covers explored ages =
+    (* [explored] admits every behaviour of [ages]: pointwise at least
+       as close to becoming disturbable again *)
+    Array.for_all2 (fun e a -> e = a || (a >= 0 && e >= a)) explored ages
+  in
+  let seen node =
+    if subsume then begin
+      let key, ages = abstract node in
+      let chain = Option.value ~default:[] (deep_find_opt chains key) in
+      if List.exists (fun e -> covers e ages) chain then true
+      else begin
+        let chain = ages :: List.filter (fun e -> not (covers ages e)) chain in
+        deep_add chains key chain;
+        false
+      end
+    end
+    else if deep_mem visited node then true
+    else begin
+      deep_add visited node ();
+      false
+    end
+  in
+  let rebuild last failing =
+    let rec walk nd acc =
+      match deep_find_opt parents nd with
+      | None -> acc
+      | Some (parent, move) -> walk parent ((move, nd.st) :: acc)
+    in
+    Unsafe { steps = walk last []; failing }
+  in
+  let queue = Queue.create () in
+  ignore (seen initial);
+  Queue.add initial queue;
+  let states = ref 1 and transitions = ref 0 in
+  let verdict = ref Safe in
+  (try
+     while not (Queue.is_empty queue) do
+       let node = Queue.pop queue in
+       let available =
+         let steady = disturbable_ids specs node.st in
+         if bounded then List.filter (fun id -> node.budget.(id) > 0) steady
+         else steady
+       in
+       List.iter
+         (fun disturbed ->
+           incr transitions;
+           let st', outcome = Sched.Slot_state.tick ~policy specs node.st ~disturbed in
+           List.iter
+             (fun (id, wt) -> if wt > max_wait.(id) then max_wait.(id) <- wt)
+             outcome.Sched.Slot_state.granted;
+           let budget' =
+             if (not bounded) || disturbed = [] then node.budget
+             else begin
+               let b = Array.copy node.budget in
+               List.iter (fun id -> b.(id) <- b.(id) - 1) disturbed;
+               b
+             end
+           in
+           let node' = { st = normalize st' budget'; budget = budget' } in
+           match outcome.Sched.Slot_state.new_errors with
+           | _ :: _ as failing ->
+             deep_add parents node' (node, disturbed);
+             verdict := rebuild node' failing;
+             raise Exit
+           | [] ->
+             if not (seen node') then begin
+               incr states;
+               deep_add parents node' (node, disturbed);
+               Queue.add node' queue
+             end)
+         (List.concat_map (arrival_orders specs) (subsets available))
+     done
+   with Exit -> ());
+  {
+    verdict = !verdict;
+    stats =
+      {
+        states = !states;
+        transitions = !transitions;
+        elapsed = Unix.gettimeofday () -. t0;
+        max_wait;
+      };
+  }
+
+let verify ?(policy = Sched.Slot_state.Eager_preempt) ?(mode = `Subsumption)
+    specs =
+  match mode with
+  | `Bfs -> explore ~policy ~subsume:false ~instances:None specs
+  | `Subsumption -> explore ~policy ~subsume:true ~instances:None specs
+
+let verify_bounded ?(policy = Sched.Slot_state.Eager_preempt) ~instances specs =
+  if instances < 1 then invalid_arg "Dverify.verify_bounded: instances < 1";
+  explore ~policy ~subsume:true ~instances:(Some instances) specs
+
+let pp_counterexample specs ppf (ce : counterexample) =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun k (disturbed, st) ->
+      let arrivals =
+        match disturbed with
+        | [] -> ""
+        | ids ->
+          Printf.sprintf "  <- disturb %s"
+            (String.concat ","
+               (List.map (fun id -> specs.(id).Sched.Appspec.name) ids))
+      in
+      Format.fprintf ppf "t=%-3d %a%s@," k (Sched.Slot_state.pp specs) st
+        arrivals)
+    ce.steps;
+  Format.fprintf ppf "miss: %s@]"
+    (String.concat ", "
+       (List.map (fun id -> specs.(id).Sched.Appspec.name) ce.failing))
+
+let pp_verdict specs ppf = function
+  | Safe -> Format.pp_print_string ppf "safe: no application can miss T*_w"
+  | Unsafe { failing; steps } ->
+    Format.fprintf ppf "unsafe: %s misses T*_w after %d samples"
+      (String.concat ", "
+         (List.map (fun id -> specs.(id).Sched.Appspec.name) failing))
+      (List.length steps)

@@ -1,0 +1,182 @@
+type t = {
+  j_star : int;
+  jt : int;
+  je : int;
+  t_w_max : int;
+  t_dw_min : int array;
+  t_dw_max : int array;
+  j_at_min : int array;
+  j_at_max : int array;
+}
+
+exception Infeasible of string
+
+let infeasible fmt = Format.kasprintf (fun s -> raise (Infeasible s)) fmt
+
+let settle_pure ?threshold p g mode =
+  Control.Settle.settling_index ?threshold
+    (Control.Switched.run p g (Strategy.pure mode) (Control.Switched.disturbed p) 600)
+
+(* settling when waiting [t_w] samples and then holding MT forever *)
+let settle_hold ?threshold p g ~t_w =
+  let mode k = if k < t_w then Control.Switched.Me else Control.Switched.Mt in
+  Control.Settle.settling_index ?threshold
+    (Control.Switched.run p g mode (Control.Switched.disturbed p) (t_w + 600))
+
+let j_of _table p g ~t_w ~t_dw = Strategy.settling p g ~t_w ~t_dw
+
+let surface ?threshold p g ~t_w_max ~t_dw_max =
+  List.concat
+    (List.init (t_w_max + 1) (fun t_w ->
+         List.init t_dw_max (fun d ->
+             let t_dw = d + 1 in
+             (t_w, t_dw, Strategy.settling ?threshold p g ~t_w ~t_dw))))
+
+(* Per-wait analysis: scan dwell times and extract the min feasible
+   dwell and the first dwell achieving the best attainable settling. *)
+let analyse_wait ?threshold p g ~j_star ~t_w =
+  match settle_hold ?threshold p g ~t_w with
+  | None -> None (* even holding the slot forever never settles *)
+  | Some j_hold ->
+    let cap = Int.max (j_hold - t_w) (j_star - t_w) + 25 in
+    let js =
+      Array.init cap (fun d ->
+          Strategy.settling ?threshold p g ~t_w ~t_dw:(d + 1))
+    in
+    let best =
+      Array.fold_left
+        (fun acc j ->
+          match (acc, j) with
+          | None, x -> x
+          | Some b, Some x -> Some (Int.min b x)
+          | Some b, None -> Some b)
+        (Some j_hold) js
+    in
+    let best = match best with Some b -> b | None -> j_hold in
+    let first pred =
+      let rec go d =
+        if d >= cap then None
+        else
+          match js.(d) with
+          | Some j when pred j -> Some (d + 1, j)
+          | Some _ | None -> go (d + 1)
+      in
+      go 0
+    in
+    let feasible d =
+      (* dwell d = array index d - 1 *)
+      match js.(d - 1) with Some j -> j <= j_star | None -> false
+    in
+    (match first (fun j -> j <= j_star) with
+     | None -> None
+     | Some _ ->
+       let dw_max, j_max =
+         match first (fun j -> j = best) with
+         | Some (dw_max, j_max) -> (dw_max, j_max)
+         | None ->
+           (* best only attained by holding forever; treat the cap as
+              the saturation point *)
+           (cap, j_hold)
+       in
+       (* The occupant can be preempted at ANY dwell in
+          [T⁻_dw, T⁺_dw], so the minimum must be suffix-safe: every
+          dwell from it up to T⁺_dw meets the budget.  (The paper's
+          "minimum dwell meeting J <= J*" implicitly assumes
+          feasibility is upward-closed; on its case study the two
+          definitions coincide — see EXPERIMENTS.md.) *)
+       if not (feasible dw_max) then None
+       else begin
+         let rec lowest d = if d >= 2 && feasible (d - 1) then lowest (d - 1) else d in
+         let dw_min = lowest dw_max in
+         match js.(dw_min - 1) with
+         | Some j_min -> Some (dw_min, j_min, dw_max, j_max)
+         | None -> None
+       end)
+
+let compute ?threshold ?(stride = 1) p g ~j_star =
+  if stride < 1 then invalid_arg "Dwell.compute: stride must be >= 1";
+  if j_star < 1 then invalid_arg "Dwell.compute: j_star must be >= 1";
+  let a_tt = Control.Feedback.closed_loop_tt p g.Control.Switched.kt in
+  let a_et = Control.Feedback.closed_loop_et p g.Control.Switched.ke in
+  if not (Linalg.Eig.is_schur_stable a_tt) then
+    infeasible "TT closed loop is unstable";
+  if not (Linalg.Eig.is_schur_stable a_et) then
+    infeasible "ET closed loop is unstable";
+  let jt =
+    match settle_pure ?threshold p g Control.Switched.Mt with
+    | Some j -> j
+    | None -> infeasible "TT mode does not settle within the horizon"
+  in
+  let je =
+    match settle_pure ?threshold p g Control.Switched.Me with
+    | Some j -> j
+    | None -> infeasible "ET mode does not settle within the horizon"
+  in
+  if jt > j_star then
+    infeasible "requirement J* = %d unattainable: J_T = %d" j_star jt;
+  if je <= j_star then
+    infeasible "requirement J* = %d trivially met on ET: J_E = %d" j_star je;
+  let rec collect t_w acc =
+    match analyse_wait ?threshold p g ~j_star ~t_w with
+    | None -> List.rev acc
+    | Some entry -> collect (t_w + stride) ((t_w, entry) :: acc)
+  in
+  let entries = collect 0 [] in
+  match entries with
+  | [] -> infeasible "no feasible wait time at all"
+  | _ ->
+    let t_w_max = fst (List.nth entries (List.length entries - 1)) in
+    let len = (t_w_max / stride) + 1 in
+    let t_dw_min = Array.make len 0
+    and t_dw_max = Array.make len 0
+    and j_at_min = Array.make len 0
+    and j_at_max = Array.make len 0 in
+    List.iteri
+      (fun i (_, (dmin, jmin, dmax, jmax)) ->
+        t_dw_min.(i) <- dmin;
+        j_at_min.(i) <- jmin;
+        t_dw_max.(i) <- dmax;
+        j_at_max.(i) <- jmax)
+      entries;
+    { j_star; jt; je; t_w_max; t_dw_min; t_dw_max; j_at_min; j_at_max }
+
+let deadline t ~t_w = t.t_w_max - t_w
+
+let validate t =
+  let len = Array.length t.t_dw_min in
+  let check cond msg = if cond then Ok () else Error msg in
+  let ( let* ) = Result.bind in
+  let* () =
+    check
+      (len = Array.length t.t_dw_max
+      && len = Array.length t.j_at_min
+      && len = Array.length t.j_at_max)
+      "array lengths disagree"
+  in
+  let* () = check (len >= 1) "empty table" in
+  let* () = check (t.jt <= t.j_star && t.j_star < t.je) "J_T <= J* < J_E violated" in
+  let* () =
+    check
+      (Array.for_all2 (fun a b -> a <= b) t.t_dw_min t.t_dw_max)
+      "t_dw_min exceeds t_dw_max"
+  in
+  let* () =
+    check
+      (Array.for_all (fun j -> j <= t.j_star) t.j_at_min)
+      "a j_at_min entry violates the requirement"
+  in
+  check
+    (Array.for_all2 (fun a b -> b <= a) t.j_at_min t.j_at_max)
+    "dwelling longer must not worsen settling"
+
+let pp ppf t =
+  let pp_arr ppf a =
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Format.pp_print_int)
+      (Array.to_list a)
+  in
+  Format.fprintf ppf
+    "@[<v>J* = %d, J_T = %d, J_E = %d, T*_w = %d@,T-_dw = %a@,T+_dw = %a@]"
+    t.j_star t.jt t.je t.t_w_max pp_arr t.t_dw_min pp_arr t.t_dw_max

@@ -1,0 +1,66 @@
+(** Pre-computation of the strategy's timing tables (paper Sec. 3).
+
+    For each possible wait time [T_w] the closed-loop simulation of all
+    switching sequences yields:
+
+    - [T⁻_dw(T_w)] — the minimum dwell time in [MT] such that {e every}
+      dwell between it and [T⁺_dw(T_w)] meets the settling budget
+      [J ≤ J*] (the suffix-safe reading of the paper's definition:
+      preemption may strike at any admissible dwell, so feasibility
+      must hold across the whole window — on the paper's case study
+      the two readings coincide);
+    - [T⁺_dw(T_w)] — the dwell time beyond which staying in [MT] no
+      longer improves the settling time;
+    - [T*_w] — the largest wait for which any dwell meets the budget.
+
+    These finitely many integers abstract the whole control dynamics
+    for the scheduling/verification layer. *)
+
+type t = {
+  j_star : int;  (** requirement, samples *)
+  jt : int;  (** settling with a dedicated TT slot *)
+  je : int;  (** settling on ET only *)
+  t_w_max : int;  (** T*_w *)
+  t_dw_min : int array;  (** index [T_w] in [0 .. t_w_max] *)
+  t_dw_max : int array;  (** same indexing *)
+  j_at_min : int array;  (** J when dwelling exactly [t_dw_min.(T_w)] *)
+  j_at_max : int array;  (** J when dwelling exactly [t_dw_max.(T_w)] *)
+}
+
+exception Infeasible of string
+(** Raised by {!compute} when the requirement cannot be met at all
+    ([J_T > J*]), is trivially met without TT ([J_E <= J*]), or a
+    closed-loop mode is unstable. *)
+
+val compute :
+  ?threshold:float ->
+  ?stride:int ->
+  Control.Plant.t ->
+  Control.Switched.gains ->
+  j_star:int ->
+  t
+(** Simulate every switching combination with wait granularity [stride]
+    (default 1; the paper's conservativeness/memory trade-off) and
+    build the table.  @raise Infeasible (see above). *)
+
+val j_of : t -> Control.Plant.t -> Control.Switched.gains -> t_w:int -> t_dw:int -> int option
+(** Re-simulate one combination (for spot checks and plots). *)
+
+val surface :
+  ?threshold:float ->
+  Control.Plant.t ->
+  Control.Switched.gains ->
+  t_w_max:int ->
+  t_dw_max:int ->
+  (int * int * int option) list
+(** The raw settling surface [J(T_w, T_dw)] of Fig. 3, in samples;
+    [None] marks combinations that never settle within the horizon. *)
+
+val deadline : t -> t_w:int -> int
+(** [D = T*_w - T_w], the slack the arbiter sorts by (Sec. 4). *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: array lengths match [t_w_max + 1], minima do not
+    exceed maxima, settling values honour [j_star]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+type params = {
+  seed : int;
+  count : int;
+  j_star_choices : int list;
+  r_slack : int;
+}
+
+let default_params =
+  { seed = 42; count = 8; j_star_choices = [ 18; 22; 26; 30 ]; r_slack = 6 }
+
+let draw_plant rs =
+  let range lo hi = lo +. Random.State.float rs (hi -. lo) in
+  let phi =
+    Linalg.Mat.of_rows
+      [
+        [ range 0.85 1.01; range 0.01 0.1 ];
+        [ range (-0.05) 0.05; range 0.85 1.01 ];
+      ]
+  in
+  let gamma = [| range 0.001 0.02; range 0.05 0.2 |] in
+  Control.Plant.make ~phi ~gamma ~c:[| 1.; 0. |] ~h:0.02
+
+let try_build name plant j_star ~r_slack =
+  match Control.Design.synthesize plant ~j_star with
+  | Error _ -> None
+  | Ok gains ->
+    (match Dwell.compute plant gains ~j_star with
+     | exception Dwell.Infeasible _ -> None
+     | table ->
+       let max_service =
+         let best = ref 0 in
+         Array.iteri
+           (fun t_w d -> best := Int.max !best (t_w + d))
+           table.Dwell.t_dw_max;
+         !best
+       in
+       let r = Int.max j_star max_service + 1 + r_slack in
+       (match App.make ~name ~plant ~gains ~r ~j_star () with
+        | app -> Some app
+        | exception (Invalid_argument _ | Dwell.Infeasible _) -> None))
+
+let generate ?(params = default_params) () =
+  if params.count < 1 then invalid_arg "Fleet.generate: count";
+  let rs = Random.State.make [| params.seed |] in
+  let apps = ref [] in
+  let produced = ref 0 in
+  let draws = ref 0 in
+  while !produced < params.count do
+    incr draws;
+    if !draws > 20 * params.count then
+      failwith "Fleet.generate: too many failed draws";
+    let plant = draw_plant rs in
+    if Control.Ctrb.is_controllable plant.Control.Plant.phi plant.Control.Plant.gamma
+    then begin
+      let name = Printf.sprintf "F%d" (!produced + 1) in
+      let rec try_budgets = function
+        | [] -> ()
+        | j_star :: rest ->
+          (match try_build name plant j_star ~r_slack:params.r_slack with
+           | Some app ->
+             apps := app :: !apps;
+             incr produced
+           | None -> try_budgets rest)
+      in
+      try_budgets params.j_star_choices
+    end
+  done;
+  List.rev !apps
+
+let describe (a : App.t) =
+  let t = a.App.table in
+  Printf.sprintf "%s: J*=%d r=%d T*_w=%d dwell %d..%d" a.App.name a.App.j_star
+    a.App.r t.Dwell.t_w_max
+    (Array.fold_left Int.min max_int t.Dwell.t_dw_min)
+    (Array.fold_left Int.max 0 t.Dwell.t_dw_max)

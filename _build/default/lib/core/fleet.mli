@@ -1,0 +1,29 @@
+(** Synthetic application fleets for scalability experiments beyond the
+    paper's six-application case study.
+
+    Each fleet member is built end to end: a randomly drawn
+    second-order plant (stable or marginally unstable), switching gains
+    synthesised by {!Control.Design}, a settling budget chosen inside
+    the achievable [J_T < J* < J_E] bracket, and an inter-arrival time
+    just large enough for the sporadic model.  Generation is
+    deterministic in the seed. *)
+
+type params = {
+  seed : int;
+  count : int;
+  j_star_choices : int list;  (** budgets tried per plant, in order *)
+  r_slack : int;  (** quiet margin added beyond the minimum legal [r] *)
+}
+
+val default_params : params
+(** seed 42, budgets [[18; 22; 26; 30]], slack 6. *)
+
+val generate : ?params:params -> unit -> App.t list
+(** Generate [params.count] applications named "F1", "F2", ...
+    Plants that defeat gain synthesis or whose budgets cannot be
+    bracketed are skipped (more are drawn until [count] succeed).
+    @raise Failure if 20x [count] draws do not yield enough
+    applications (pathological parameters). *)
+
+val describe : App.t -> string
+(** One-line summary: name, T*_w, r, dwell range. *)

@@ -1,0 +1,130 @@
+type verifier = Sched.Appspec.t array -> [ `Safe | `Unsafe ]
+
+type slot = { index : int; apps : App.t list }
+
+type outcome = { slots : slot list; verifications : int }
+
+let t_dw_min_star (a : App.t) =
+  Array.fold_left Int.max 0 a.App.table.Dwell.t_dw_min
+
+let sort_order apps =
+  let key (a : App.t) = (App.t_w_max a, t_dw_min_star a, a.App.name) in
+  List.sort (fun a b -> compare (key a) (key b)) apps
+
+let specs_of_group group =
+  Array.of_list (List.mapi (fun i a -> App.spec a ~id:i) group)
+
+let default_verifier specs =
+  match (Dverify.verify ~mode:`Subsumption specs).Dverify.verdict with
+  | Dverify.Safe -> `Safe
+  | Dverify.Unsafe _ -> `Unsafe
+
+let first_fit ?(verifier = default_verifier) ?(presorted = false) apps =
+  let apps = if presorted then apps else sort_order apps in
+  let count = ref 0 in
+  let fits group app =
+    incr count;
+    verifier (specs_of_group (group @ [ app ])) = `Safe
+  in
+  let place slots app =
+    let rec go = function
+      | [] -> None
+      | group :: rest ->
+        if fits group app then Some ((group @ [ app ]) :: rest)
+        else Option.map (fun r -> group :: r) (go rest)
+    in
+    match go slots with Some slots -> slots | None -> slots @ [ [ app ] ]
+  in
+  let groups = List.fold_left place [] apps in
+  {
+    slots = List.mapi (fun index apps -> { index; apps }) groups;
+    verifications = !count;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d slot(s), %d verification(s)@,%a@]"
+    (List.length t.slots) t.verifications
+    (Format.pp_print_list (fun ppf slot ->
+         Format.fprintf ppf "S%d: {%s}" (slot.index + 1)
+           (String.concat ", " (List.map (fun a -> a.App.name) slot.apps))))
+    t.slots
+
+(* ------------------------------------------------------------------ *)
+(* Exact minimisation.  Safety of a subset is computed lazily with
+   monotone pruning: a subset with an unsafe subset is unsafe without
+   calling the verifier.  The minimum partition into safe subsets is a
+   DP over bitmasks. *)
+
+let optimal ?(verifier = default_verifier) apps =
+  let apps = Array.of_list apps in
+  let n = Array.length apps in
+  if n = 0 then { slots = []; verifications = 0 }
+  else if n > 16 then invalid_arg "Mapping.optimal: too many applications"
+  else begin
+    let full = (1 lsl n) - 1 in
+    let members mask =
+      List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n (fun i -> i))
+    in
+    let count = ref 0 in
+    let safety = Array.make (full + 1) `Unknown in
+    (* memoised, monotone-pruned safety of a subset *)
+    let rec safe mask =
+      match safety.(mask) with
+      | `Safe -> true
+      | `Unsafe -> false
+      | `Unknown ->
+        let ids = members mask in
+        let result =
+          if List.length ids <= 1 then true
+          else if
+            (* monotone pruning: any unsafe strict subset decides it *)
+            List.exists
+              (fun i ->
+                let sub = mask land lnot (1 lsl i) in
+                safety.(sub) = `Unsafe
+                || (List.length (members sub) > 1 && not (safe sub)))
+              ids
+          then false
+          else begin
+            incr count;
+            let group = List.map (fun i -> apps.(i)) ids in
+            verifier (specs_of_group group) = `Safe
+          end
+        in
+        safety.(mask) <- (if result then `Safe else `Unsafe);
+        result
+    in
+    (* DP over bitmasks: fewest safe parts covering [mask] *)
+    let best = Array.make (full + 1) max_int in
+    let choice = Array.make (full + 1) 0 in
+    best.(0) <- 0;
+    for mask = 1 to full do
+      (* iterate over submasks that contain the lowest set bit (fixing
+         one element avoids symmetric permutations) *)
+      let low = mask land -mask in
+      let sub = ref mask in
+      while !sub > 0 do
+        if !sub land low <> 0 && safe !sub then begin
+          let rest = mask lxor !sub in
+          if best.(rest) <> max_int && best.(rest) + 1 < best.(mask) then begin
+            best.(mask) <- best.(rest) + 1;
+            choice.(mask) <- !sub
+          end
+        end;
+        sub := (!sub - 1) land mask
+      done
+    done;
+    let rec rebuild mask acc =
+      if mask = 0 then List.rev acc
+      else rebuild (mask lxor choice.(mask)) (members choice.(mask) :: acc)
+    in
+    let groups = rebuild full [] in
+    {
+      slots =
+        List.mapi
+          (fun index ids ->
+            { index; apps = List.map (fun i -> apps.(i)) ids })
+          groups;
+      verifications = !count;
+    }
+  end

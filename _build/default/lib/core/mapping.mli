@@ -1,0 +1,49 @@
+(** First-fit mapping of applications to TT slots (paper Sec. 5,
+    "Resource mapping").
+
+    Applications are sorted by ascending [T*_w], ties broken by the
+    smaller maximum of [T⁻_dw] (written T⁻*_dw in the paper), and
+    packed first-fit: each application is added to the first existing
+    slot whose extended group still passes control-performance
+    verification; otherwise it opens a new slot. *)
+
+type verifier =
+  Sched.Appspec.t array -> [ `Safe | `Unsafe ]
+(** Pluggable group verifier (the discrete engine by default; the
+    timed-automata engine can be swapped in for cross-checking). *)
+
+type slot = { index : int; apps : App.t list }
+
+type outcome = {
+  slots : slot list;
+  verifications : int;  (** number of verifier calls performed *)
+}
+
+val sort_order : App.t list -> App.t list
+(** The paper's sorting: ascending [T*_w], then ascending [T⁻*_dw],
+    then name for determinism. *)
+
+val default_verifier : verifier
+(** {!Dverify.verify} with subsumption. *)
+
+val first_fit : ?verifier:verifier -> ?presorted:bool -> App.t list -> outcome
+(** Run the mapping.  When [presorted] is false (default) the input is
+    sorted with {!sort_order} first. *)
+
+val specs_of_group : App.t list -> Sched.Appspec.t array
+(** Dense scheduler specs for a candidate group (ids assigned in list
+    order). *)
+
+val pp : Format.formatter -> outcome -> unit
+
+val optimal : ?verifier:verifier -> App.t list -> outcome
+(** Exact minimum-slot partition (in contrast to the paper's first-fit
+    heuristic).  Group safety is monotone — disturbing one application
+    less can only shrink the adversary's options, so every superset of
+    an unsafe group is unsafe and every subset of a safe group is safe
+    — which prunes most of the subset lattice; the minimum partition
+    over the safe subsets is then found by dynamic programming over
+    bitmasks.  Exponential in the number of applications (fine for the
+    slot-sized instances this problem deals in; guarded at 16 apps).
+    [verifications] counts the verifier calls actually performed after
+    pruning.  @raise Invalid_argument beyond 16 applications. *)

@@ -1,0 +1,35 @@
+(** The paper's simulation flow (Sec. 5): "Using UPPAAL, we simulate
+    the timed automata models ... Using the obtained switching
+    sequences, we simulate the control loops in MATLAB."
+
+    This module drives the Fig. 5-7 network with the concrete-state
+    executor ({!Ta.Concrete}), resolving the nondeterminism with a
+    deterministic policy that fires each scripted disturbance at its
+    sample and otherwise never disturbs (and never takes an Error
+    edge voluntarily), then reads the slot-ownership sequence out of
+    the scheduler's shared state.
+
+    Its output is directly comparable with
+    {!Sched.Arbiter.owner_trace}: the test suite checks that the model
+    simulated as timed automata and the executable scheduler produce
+    identical schedules. *)
+
+exception Error_reached of int
+(** An application automaton reached Error during simulation (payload:
+    its id). *)
+
+val owner_trace :
+  Sched.Appspec.t array ->
+  disturbances:(int * int) list ->
+  horizon:int ->
+  int option array
+(** [owner_trace specs ~disturbances ~horizon] simulates the network
+    for [horizon] samples with the given [(sample, id)] disturbance
+    script (same convention as {!Sched.Arbiter.run}: the disturbance is
+    seen by the scheduler at that sample) and returns the slot owner
+    during each sample.
+    @raise Error_reached when the script drives an application into
+    Error.
+    @raise Invalid_argument on out-of-range ids or samples.
+    @raise Ta.Concrete.Stuck on a model bug (the tick-driven network
+    cannot time-lock under the shipped policy). *)

@@ -1,0 +1,28 @@
+(** Export a slot group as a real UPPAAL 4.x model.
+
+    The generated system mirrors the paper's Figs. 5–7 — one
+    application template (auto-instantiated over the id range), and a
+    scheduler whose Policy/Sort bookkeeping runs through committed
+    locations with per-request buffer-transfer loops, exactly as in
+    Fig. 6 (clock resets of [t\[id\]] happen inline on those loop
+    transitions, which is what UPPAAL's expression language allows).
+    The safety query [A\[\] forall (i : id_t) not App(i).Error] is
+    embedded in the file's query section.
+
+    The export enables an external cross-check of this library's
+    verifiers against the tool the paper actually used; the test suite
+    checks the XML structurally (balanced tags, declarations,
+    constants), since UPPAAL itself is not available offline. *)
+
+val model : Sched.Appspec.t array -> string
+(** The complete [.xml] document.  @raise Invalid_argument on an empty
+    group. *)
+
+val query : Sched.Appspec.t array -> string
+(** The safety formula alone (also embedded in {!model}), suitable for
+    a [.q] file. *)
+
+val write :
+  dir:string -> basename:string -> Sched.Appspec.t array -> (string, string) result
+(** Write [<dir>/<basename>.xml] and [<dir>/<basename>.q]; returns the
+    model path. *)

@@ -1,0 +1,1 @@
+lib/cosim/bus_check.ml: Array Flexray Format Hashtbl Int List Option String System Trace

@@ -1,0 +1,1 @@
+lib/cosim/bus_check.mli: Flexray Format System

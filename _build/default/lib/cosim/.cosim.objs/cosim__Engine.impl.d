@@ -1,0 +1,1 @@
+lib/cosim/engine.ml: Array Control Core Linalg List Scenario Sched Trace

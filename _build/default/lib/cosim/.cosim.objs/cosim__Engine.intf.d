@@ -1,0 +1,1 @@
+lib/cosim/engine.mli: Scenario Sched Trace

@@ -1,0 +1,1 @@
+lib/cosim/export.ml: Array Buffer Core Fun List Printf String Trace

@@ -1,0 +1,1 @@
+lib/cosim/export.mli: Core Trace

@@ -1,0 +1,1 @@
+lib/cosim/scenario.ml: Core List Printf String

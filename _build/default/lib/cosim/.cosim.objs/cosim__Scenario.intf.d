@@ -1,0 +1,1 @@
+lib/cosim/scenario.mli: Core

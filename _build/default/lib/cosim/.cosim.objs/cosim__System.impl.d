@@ -1,0 +1,1 @@
+lib/cosim/system.ml: Array Core Engine Format List Printf Scenario String Trace

@@ -1,0 +1,1 @@
+lib/cosim/system.mli: Core Format Sched Trace

@@ -1,0 +1,1 @@
+lib/cosim/trace.ml: Array Control Core Int List Printf Sched String

@@ -1,0 +1,1 @@
+lib/cosim/trace.mli: Core Sched

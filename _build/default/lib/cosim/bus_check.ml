@@ -1,0 +1,118 @@
+type result = {
+  messages : int;
+  delivered : int;
+  tt_count : int;
+  et_count : int;
+  tt_delay_us : int * int;
+  et_delay_us : int * int;
+  h_us : int;
+  tt_deterministic : bool;
+  one_sample_ok : bool;
+  all_delivered : bool;
+}
+
+let default_config =
+  Flexray.Config.make ~static_slot_count:10 ~static_slot_us:100
+    ~minislot_count:250 ~minislot_us:4
+
+let frame_length_minislots = 8
+
+let validate ?(config = default_config) ?(h_us = 20_000) (report : System.report) =
+  let groups = report.System.slots in
+  if List.length groups > config.Flexray.Config.static_slot_count then
+    invalid_arg "Bus_check.validate: more groups than static slots";
+  let all_names = List.concat_map fst groups in
+  if
+    config.Flexray.Config.minislot_count
+    < frame_length_minislots + List.length all_names
+  then invalid_arg "Bus_check.validate: dynamic segment too small";
+  let frame_id name =
+    let rec go i = function
+      | [] -> invalid_arg "Bus_check: unknown app"
+      | n :: rest -> if String.equal n name then i else go (i + 1) rest
+    in
+    go 1 all_names
+  in
+  let horizon =
+    List.fold_left
+      (fun acc (_, trace) -> Int.min acc (Array.length trace.Trace.owner))
+      max_int groups
+  in
+  let messages = ref [] in
+  List.iteri
+    (fun slot_index (names, trace) ->
+      let names = Array.of_list names in
+      for k = 0 to horizon - 1 do
+        Array.iteri
+          (fun local name ->
+            let release_us = k * h_us in
+            let frame =
+              if trace.Trace.owner.(k) = Some local then
+                Flexray.Frame.static ~slot:slot_index
+              else
+                Flexray.Frame.dynamic ~frame_id:(frame_id name)
+                  ~length_minislots:frame_length_minislots
+            in
+            messages := { Flexray.Bus.frame; release_us } :: !messages)
+          names
+      done)
+    groups;
+  let messages = List.rev !messages in
+  let deliveries =
+    Flexray.Bus.simulate config
+      ~until_us:((horizon + 2) * h_us)
+      messages
+  in
+  let classify d =
+    match d.Flexray.Bus.message.Flexray.Bus.frame with
+    | Flexray.Frame.Static { slot } -> `Tt (slot, Flexray.Bus.delay_us d)
+    | Flexray.Frame.Dynamic _ -> `Et (Flexray.Bus.delay_us d)
+  in
+  let tt_per_slot = Hashtbl.create 8 in
+  let tt = ref [] and et = ref [] in
+  List.iter
+    (fun d ->
+      match classify d with
+      | `Tt (slot, x) ->
+        tt := x :: !tt;
+        Hashtbl.replace tt_per_slot slot
+          (x :: Option.value ~default:[] (Hashtbl.find_opt tt_per_slot slot))
+      | `Et x -> et := x :: !et)
+    deliveries;
+  let bounds = function
+    | [] -> (0, 0)
+    | x :: rest ->
+      List.fold_left (fun (lo, hi) v -> (Int.min lo v, Int.max hi v)) (x, x) rest
+  in
+  let tt_delay_us = bounds !tt and et_delay_us = bounds !et in
+  {
+    messages = List.length messages;
+    delivered = List.length deliveries;
+    tt_count = List.length !tt;
+    et_count = List.length !et;
+    tt_delay_us;
+    et_delay_us;
+    h_us;
+    (* a TT slot is deterministic when every delivery through it has
+       the same latency; different slots naturally differ by their
+       position in the cycle *)
+    tt_deterministic =
+      Hashtbl.fold
+        (fun _ delays acc ->
+          acc
+          && (match delays with
+              | [] -> true
+              | x :: rest -> List.for_all (Int.equal x) rest))
+        tt_per_slot true;
+    one_sample_ok = snd et_delay_us <= h_us;
+    all_delivered = List.length deliveries = List.length messages;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%d messages, %d delivered (%d TT, %d ET)@,\
+     TT delay: %d..%d us (deterministic: %b)@,\
+     ET delay: %d..%d us (one-sample bound %d us: %b)@]"
+    r.messages r.delivered r.tt_count r.et_count (fst r.tt_delay_us)
+    (snd r.tt_delay_us) r.tt_deterministic (fst r.et_delay_us)
+    (snd r.et_delay_us) r.h_us r.one_sample_ok

@@ -1,0 +1,51 @@
+let run ?policy (scenario : Scenario.t) =
+  let apps = Array.of_list scenario.Scenario.apps in
+  let n = Array.length apps in
+  if n = 0 then invalid_arg "Engine.run: empty scenario";
+  let h = apps.(0).Core.App.plant.Control.Plant.h in
+  Array.iter
+    (fun (a : Core.App.t) ->
+      if a.Core.App.plant.Control.Plant.h <> h then
+        invalid_arg "Engine.run: inconsistent sampling periods")
+    apps;
+  let specs = Array.mapi (fun i a -> Core.App.spec a ~id:i) apps in
+  let arbiter = Sched.Arbiter.create ?policy specs in
+  let disturbances = Scenario.disturbance_schedule scenario in
+  let horizon = scenario.Scenario.horizon in
+  let outputs = Array.init n (fun _ -> Array.make horizon 0.) in
+  let states =
+    Array.map
+      (fun (a : Core.App.t) ->
+        ref (Control.Switched.initial
+               (Linalg.Vec.zeros (Control.Plant.order a.Core.App.plant))))
+      apps
+  in
+  for k = 0 to horizon - 1 do
+    let disturbed =
+      List.filter_map (fun (s, id) -> if s = k then Some id else None)
+        disturbances
+    in
+    ignore (Sched.Arbiter.step arbiter ~disturbed ());
+    let owner =
+      (Sched.Arbiter.state arbiter).Sched.Slot_state.owner
+    in
+    List.iter
+      (fun id -> states.(id) := Control.Switched.disturbed apps.(id).Core.App.plant)
+      disturbed;
+    for i = 0 to n - 1 do
+      let a = apps.(i) in
+      outputs.(i).(k) <- Control.Switched.output a.Core.App.plant !(states.(i));
+      let mode =
+        if owner = Some i then Control.Switched.Mt else Control.Switched.Me
+      in
+      states.(i) := Control.Switched.step a.Core.App.plant a.Core.App.gains mode !(states.(i))
+    done
+  done;
+  {
+    Trace.names = Array.map (fun (a : Core.App.t) -> a.Core.App.name) apps;
+    h;
+    outputs;
+    owner = Sched.Arbiter.owner_trace arbiter;
+    log = Sched.Arbiter.log arbiter;
+    disturbances;
+  }

@@ -1,0 +1,15 @@
+(** The closed-loop co-simulation engine: plants, switching
+    controllers, and the slot arbiter advancing in lockstep.
+
+    At every sample the arbiter processes the disturbance arrivals and
+    updates slot ownership; each application then executes one control
+    period in mode [MT] (if it owns the slot) or [ME] (otherwise), with
+    its hybrid state reset to the canonical disturbed state at the
+    sample where its disturbance is sensed.  This is the executable
+    counterpart of the verified model: the sequence of modes each
+    application sees is exactly the one {!Sched.Slot_state} allows. *)
+
+val run : ?policy:Sched.Slot_state.policy -> Scenario.t -> Trace.t
+(** Default policy {!Sched.Slot_state.Eager_preempt}.
+    @raise Invalid_argument when the apps have inconsistent sampling
+    periods. *)

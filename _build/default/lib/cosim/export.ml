@@ -1,0 +1,65 @@
+let buf_add_line buf cells =
+  Buffer.add_string buf (String.concat "," cells);
+  Buffer.add_char buf '\n'
+
+let trace_csv (t : Trace.t) =
+  let buf = Buffer.create 4096 in
+  let n = Array.length t.Trace.names in
+  buf_add_line buf
+    ("t_s" :: "sample"
+    :: (Array.to_list t.Trace.names |> List.map (fun name -> "y_" ^ name))
+    @ [ "owner" ]);
+  Array.iteri
+    (fun k owner ->
+      let cells =
+        Printf.sprintf "%.4f" (float_of_int k *. t.Trace.h)
+        :: string_of_int k
+        :: List.init n (fun i -> Printf.sprintf "%.6g" t.Trace.outputs.(i).(k))
+        @ [ (match owner with Some id -> t.Trace.names.(id) | None -> "") ]
+      in
+      buf_add_line buf cells)
+    t.Trace.owner;
+  Buffer.contents buf
+
+let surface_csv surface ~h =
+  let buf = Buffer.create 1024 in
+  buf_add_line buf [ "t_w"; "t_dw"; "j_samples"; "j_s" ];
+  List.iter
+    (fun (t_w, t_dw, j) ->
+      buf_add_line buf
+        [
+          string_of_int t_w;
+          string_of_int t_dw;
+          (match j with Some j -> string_of_int j | None -> "");
+          (match j with
+           | Some j -> Printf.sprintf "%.4f" (float_of_int j *. h)
+           | None -> "");
+        ])
+    surface;
+  Buffer.contents buf
+
+let dwell_csv (t : Core.Dwell.t) ~h =
+  let buf = Buffer.create 1024 in
+  buf_add_line buf [ "t_w"; "t_dw_min"; "t_dw_max"; "j_at_min_s"; "j_at_max_s" ];
+  Array.iteri
+    (fun t_w dmin ->
+      buf_add_line buf
+        [
+          string_of_int t_w;
+          string_of_int dmin;
+          string_of_int t.Core.Dwell.t_dw_max.(t_w);
+          Printf.sprintf "%.4f" (float_of_int t.Core.Dwell.j_at_min.(t_w) *. h);
+          Printf.sprintf "%.4f" (float_of_int t.Core.Dwell.j_at_max.(t_w) *. h);
+        ])
+    t.Core.Dwell.t_dw_min;
+  Buffer.contents buf
+
+let write_file ~path contents =
+  match
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents)
+  with
+  | () -> Ok ()
+  | exception Sys_error m -> Error m

@@ -1,0 +1,18 @@
+(** CSV export of simulation and dimensioning data, for external
+    plotting (gnuplot, matplotlib, ...) of the paper's figures. *)
+
+val trace_csv : Trace.t -> string
+(** Columns: [t_s, sample, y_<app>..., owner] — the data behind
+    Figs. 8/9.  The owner column holds the owning application's name or
+    an empty field. *)
+
+val surface_csv : (int * int * int option) list -> h:float -> string
+(** Columns: [t_w, t_dw, j_samples, j_s] — the data behind Fig. 3;
+    unsettled combinations export empty fields. *)
+
+val dwell_csv : Core.Dwell.t -> h:float -> string
+(** Columns: [t_w, t_dw_min, t_dw_max, j_at_min_s, j_at_max_s] — the
+    data behind Fig. 4. *)
+
+val write_file : path:string -> string -> (unit, string) result
+(** Write a CSV to disk; the error carries the system message. *)

@@ -1,0 +1,54 @@
+type t = {
+  apps : Core.App.t list;
+  disturbances : (int * string) list;
+  horizon : int;
+}
+
+let app_index t name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | (a : Core.App.t) :: _ when String.equal a.Core.App.name name -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.apps
+
+let make ~apps ~disturbances ~horizon =
+  if horizon <= 0 then invalid_arg "Scenario.make: non-positive horizon";
+  let names = List.map (fun (a : Core.App.t) -> a.Core.App.name) apps in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Scenario.make: duplicate application names";
+  let t = { apps; disturbances; horizon } in
+  List.iter
+    (fun (sample, name) ->
+      if sample < 0 || sample >= horizon then
+        invalid_arg "Scenario.make: disturbance outside the horizon";
+      if not (List.mem name names) then
+        invalid_arg ("Scenario.make: unknown application " ^ name))
+    disturbances;
+  (* enforce the sporadic model per application *)
+  List.iter
+    (fun (a : Core.App.t) ->
+      let times =
+        List.sort compare
+          (List.filter_map
+             (fun (s, n) -> if String.equal n a.Core.App.name then Some s else None)
+             disturbances)
+      in
+      let rec check = function
+        | s1 :: (s2 :: _ as rest) ->
+          if s2 - s1 < a.Core.App.r then
+            invalid_arg
+              (Printf.sprintf
+                 "Scenario.make: disturbances of %s only %d samples apart \
+                  (r = %d)"
+                 a.Core.App.name (s2 - s1) a.Core.App.r);
+          check rest
+        | [] | [ _ ] -> ()
+      in
+      check times)
+    apps;
+  t
+
+let disturbance_schedule t =
+  List.sort compare
+    (List.map (fun (s, name) -> (s, app_index t name)) t.disturbances)

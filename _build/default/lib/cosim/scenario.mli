@@ -1,0 +1,23 @@
+(** Declarative closed-loop scenarios: a slot group plus a disturbance
+    schedule, as in the paper's Figs. 8 and 9. *)
+
+type t = {
+  apps : Core.App.t list;  (** the slot group, in id order *)
+  disturbances : (int * string) list;  (** (sample, app name) *)
+  horizon : int;  (** samples to simulate *)
+}
+
+val make :
+  apps:Core.App.t list ->
+  disturbances:(int * string) list ->
+  horizon:int ->
+  t
+(** @raise Invalid_argument on an unknown app name, a negative or
+    out-of-horizon disturbance time, duplicate app names, or
+    disturbances of one app closer than its [r]. *)
+
+val app_index : t -> string -> int
+(** Dense id of an app within the scenario.  @raise Not_found. *)
+
+val disturbance_schedule : t -> (int * int) list
+(** [(sample, id)] pairs, by sample. *)

@@ -1,0 +1,1 @@
+lib/flexray/bus.ml: Config Dynamic_segment Frame Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/flexray/bus.mli: Config Frame

@@ -1,0 +1,1 @@
+lib/flexray/config.ml: Format

@@ -1,0 +1,1 @@
+lib/flexray/dynamic_segment.ml: Int List

@@ -1,0 +1,1 @@
+lib/flexray/frame.ml: Format

@@ -1,0 +1,1 @@
+lib/flexray/wcrt.ml: Config Int List

@@ -1,0 +1,1 @@
+lib/flexray/wcrt.mli: Config

@@ -1,0 +1,109 @@
+type message = { frame : Frame.t; release_us : int }
+
+type delivery = { message : message; delivered_us : int }
+
+let delay_us d = d.delivered_us - d.message.release_us
+
+let simulate config ~until_us messages =
+  List.iter
+    (fun m ->
+      if m.release_us < 0 then invalid_arg "Bus.simulate: negative release";
+      match m.frame with
+      | Frame.Static { slot } ->
+        if slot >= config.Config.static_slot_count then
+          invalid_arg "Bus.simulate: static slot out of range"
+      | Frame.Dynamic { length_minislots; _ } ->
+        if length_minislots > config.Config.minislot_count then
+          invalid_arg "Bus.simulate: dynamic frame exceeds the segment")
+    messages;
+  let cycle_us = Config.cycle_us config in
+  let cycles = (until_us / cycle_us) + 1 in
+  let deliveries = ref [] in
+  (* static messages, per slot, oldest first *)
+  let static_queue = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      match m.frame with
+      | Frame.Static { slot } ->
+        Hashtbl.replace static_queue slot
+          (m :: Option.value ~default:[] (Hashtbl.find_opt static_queue slot))
+      | Frame.Dynamic _ -> ())
+    messages;
+  Hashtbl.iter
+    (fun slot q ->
+      Hashtbl.replace static_queue slot
+        (List.sort (fun a b -> compare a.release_us b.release_us) q))
+    static_queue;
+  (* dynamic messages sorted by release *)
+  let dynamic_msgs =
+    List.filter
+      (fun m -> match m.frame with Frame.Dynamic _ -> true | Frame.Static _ -> false)
+      messages
+    |> List.sort (fun a b -> compare a.release_us b.release_us)
+  in
+  let dyn_waiting = ref [] (* (frame_id, length, message) pending *)
+  and dyn_future = ref dynamic_msgs in
+  for cycle = 0 to cycles - 1 do
+    let cycle_start = cycle * cycle_us in
+    (* static segment *)
+    for slot = 0 to config.Config.static_slot_count - 1 do
+      let slot_start = Config.static_slot_start config ~cycle ~slot in
+      match Hashtbl.find_opt static_queue slot with
+      | Some (m :: rest) when m.release_us <= slot_start ->
+        deliveries :=
+          { message = m; delivered_us = slot_start + config.Config.static_slot_us }
+          :: !deliveries;
+        Hashtbl.replace static_queue slot rest
+      | Some _ | None -> ()
+    done;
+    (* dynamic segment: admit messages released before it starts *)
+    let dyn_start = cycle_start + Config.static_us config in
+    let admitted, still_future =
+      List.partition (fun m -> m.release_us <= dyn_start) !dyn_future
+    in
+    dyn_future := still_future;
+    List.iter
+      (fun m ->
+        match m.frame with
+        | Frame.Dynamic { frame_id; length_minislots } ->
+          dyn_waiting := (frame_id, length_minislots, m) :: !dyn_waiting
+        | Frame.Static _ -> assert false)
+      admitted;
+    (* one frame id transmits at most one message per cycle: offer the
+       oldest pending message of each id to the arbitration *)
+    let oldest_per_id =
+      List.sort (fun (_, _, a) (_, _, b) -> compare a.release_us b.release_us)
+        !dyn_waiting
+      |> List.fold_left
+           (fun acc ((id, _, _) as entry) ->
+             if List.exists (fun (id', _, _) -> id' = id) acc then acc
+             else entry :: acc)
+           []
+    in
+    let pending = List.map (fun (id, len, _) -> (id, len)) oldest_per_id in
+    let sent, _leftover =
+      if pending = [] then ([], [])
+      else
+        Dynamic_segment.arbitrate ~minislot_count:config.Config.minislot_count
+          ~pending
+    in
+    List.iter
+      (fun (tx : Dynamic_segment.transmission) ->
+        match
+          List.find_opt (fun (id, _, _) -> id = tx.Dynamic_segment.frame_id)
+            oldest_per_id
+        with
+        | Some (_, _, m) ->
+          let finish =
+            dyn_start
+            + ((tx.Dynamic_segment.start_minislot
+                + tx.Dynamic_segment.length_minislots)
+               * config.Config.minislot_us)
+          in
+          deliveries := { message = m; delivered_us = finish } :: !deliveries;
+          dyn_waiting :=
+            List.filter (fun (_, _, m') -> m' != m) !dyn_waiting
+        | None -> assert false)
+      sent
+  done;
+  List.filter (fun d -> d.delivered_us <= until_us) (List.rev !deliveries)

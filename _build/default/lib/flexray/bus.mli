@@ -1,0 +1,25 @@
+(** Cycle-accurate FlexRay bus simulation.
+
+    Messages are submitted with a release time; static frames go out in
+    their slot of the next cycle whose slot start is at or after the
+    release, dynamic frames contend in the minislot arbitration.  The
+    simulator reports per-message delivery times, from which the
+    deterministic TT delay and the jittery ET delay of the paper can be
+    measured directly. *)
+
+type message = { frame : Frame.t; release_us : int }
+
+type delivery = {
+  message : message;
+  delivered_us : int;  (** end of the transmission window *)
+}
+
+val simulate : Config.t -> until_us:int -> message list -> delivery list
+(** Run the bus until [until_us]; messages not delivered by then are
+    dropped from the result.  Several pending static messages for the
+    same slot are served oldest-first, one per cycle.
+    @raise Invalid_argument on negative release times, static slots out
+    of range, or dynamic frames longer than the whole segment. *)
+
+val delay_us : delivery -> int
+(** Delivery latency [delivered_us - release_us]. *)

@@ -1,0 +1,33 @@
+type t = {
+  static_slot_count : int;
+  static_slot_us : int;
+  minislot_count : int;
+  minislot_us : int;
+}
+
+let make ~static_slot_count ~static_slot_us ~minislot_count ~minislot_us =
+  if static_slot_count <= 0 then invalid_arg "Config.make: static_slot_count";
+  if static_slot_us <= 0 then invalid_arg "Config.make: static_slot_us";
+  if minislot_count <= 0 then invalid_arg "Config.make: minislot_count";
+  if minislot_us <= 0 then invalid_arg "Config.make: minislot_us";
+  { static_slot_count; static_slot_us; minislot_count; minislot_us }
+
+let static_us t = t.static_slot_count * t.static_slot_us
+let dynamic_us t = t.minislot_count * t.minislot_us
+let cycle_us t = static_us t + dynamic_us t
+
+let static_slot_start t ~cycle ~slot =
+  if slot < 0 || slot >= t.static_slot_count then
+    invalid_arg "Config.static_slot_start: slot out of range";
+  if cycle < 0 then invalid_arg "Config.static_slot_start: negative cycle";
+  (cycle * cycle_us t) + (slot * t.static_slot_us)
+
+let default_automotive =
+  make ~static_slot_count:10 ~static_slot_us:50 ~minislot_count:200
+    ~minislot_us:2
+
+let pp ppf t =
+  Format.fprintf ppf
+    "FlexRay cycle: %d static slots x %d us + %d minislots x %d us = %d us"
+    t.static_slot_count t.static_slot_us t.minislot_count t.minislot_us
+    (cycle_us t)

@@ -1,0 +1,39 @@
+(** FlexRay bus configuration (FlexRay 2.1 abstraction).
+
+    A communication cycle consists of a static segment — [static_slot_count]
+    TDMA slots of equal duration [static_slot_us] (the paper's Ψ) — followed
+    by a dynamic segment of [minislot_count] minislots of duration
+    [minislot_us] (the paper's ψ, with ψ ≪ Ψ).  Durations are integer
+    microseconds so all bus timing is exact. *)
+
+type t = private {
+  static_slot_count : int;
+  static_slot_us : int;  (** Ψ *)
+  minislot_count : int;
+  minislot_us : int;  (** ψ *)
+}
+
+val make :
+  static_slot_count:int ->
+  static_slot_us:int ->
+  minislot_count:int ->
+  minislot_us:int ->
+  t
+(** @raise Invalid_argument on non-positive parameters. *)
+
+val cycle_us : t -> int
+(** Total cycle duration. *)
+
+val static_us : t -> int
+val dynamic_us : t -> int
+
+val static_slot_start : t -> cycle:int -> slot:int -> int
+(** Absolute start time (µs) of a static slot in a given cycle.
+    @raise Invalid_argument when [slot] is out of range. *)
+
+val default_automotive : t
+(** A representative automotive configuration: 10 static slots of
+    50 µs, 200 minislots of 2 µs — a 900 µs cycle, so a 20 ms sampling
+    period spans ~22 cycles. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+type transmission = {
+  frame_id : int;
+  start_minislot : int;
+  length_minislots : int;
+}
+
+let arbitrate ~minislot_count ~pending =
+  if minislot_count <= 0 then invalid_arg "Dynamic_segment.arbitrate: count";
+  List.iter
+    (fun (id, len) ->
+      if id <= 0 then invalid_arg "Dynamic_segment.arbitrate: frame id";
+      if len <= 0 then invalid_arg "Dynamic_segment.arbitrate: length")
+    pending;
+  let ids = List.map fst pending in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Dynamic_segment.arbitrate: duplicate frame ids";
+  let pending = List.sort (fun (a, _) (b, _) -> compare a b) pending in
+  let max_id = List.fold_left (fun acc (id, _) -> Int.max acc id) 0 pending in
+  let sent = ref [] and leftover = ref [] in
+  let counter = ref 0 in
+  for id = 1 to max_id do
+    if !counter < minislot_count then begin
+      match List.assoc_opt id pending with
+      | Some len when !counter + len <= minislot_count ->
+        sent :=
+          { frame_id = id; start_minislot = !counter; length_minislots = len }
+          :: !sent;
+        counter := !counter + len
+      | Some len ->
+        leftover := (id, len) :: !leftover;
+        incr counter
+      | None -> incr counter
+    end
+    else begin
+      (* segment exhausted: everything else waits *)
+      match List.assoc_opt id pending with
+      | Some len -> leftover := (id, len) :: !leftover
+      | None -> ()
+    end
+  done;
+  (List.rev !sent, List.rev !leftover)

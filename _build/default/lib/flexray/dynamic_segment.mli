@@ -1,0 +1,25 @@
+(** Minislot arbitration of the FlexRay dynamic segment.
+
+    Within each cycle a minislot counter sweeps over frame identifiers
+    in increasing order.  When the frame with the current id is pending
+    and still fits in the remaining segment, it transmits and the
+    counter advances by its length; otherwise the counter advances by
+    one (empty) minislot.  A frame that does not fit this cycle must
+    wait for a later one — this is the source of the time-varying ET
+    delay the paper designs against. *)
+
+type transmission = {
+  frame_id : int;
+  start_minislot : int;  (** counter value when transmission starts *)
+  length_minislots : int;
+}
+
+val arbitrate :
+  minislot_count:int ->
+  pending:(int * int) list ->
+  transmission list * (int * int) list
+(** [arbitrate ~minislot_count ~pending] plays one cycle of the dynamic
+    segment over the pending [(frame_id, length)] list and returns the
+    transmissions performed and the frames left over for the next
+    cycle.  @raise Invalid_argument on duplicate or non-positive ids or
+    non-positive lengths. *)

@@ -1,0 +1,19 @@
+type t =
+  | Static of { slot : int }
+  | Dynamic of { frame_id : int; length_minislots : int }
+
+let static ~slot =
+  if slot < 0 then invalid_arg "Frame.static: negative slot";
+  Static { slot }
+
+let dynamic ~frame_id ~length_minislots =
+  if frame_id <= 0 then invalid_arg "Frame.dynamic: frame_id must be positive";
+  if length_minislots <= 0 then invalid_arg "Frame.dynamic: non-positive length";
+  Dynamic { frame_id; length_minislots }
+
+let priority = function Static _ -> min_int | Dynamic { frame_id; _ } -> frame_id
+
+let pp ppf = function
+  | Static { slot } -> Format.fprintf ppf "static(slot=%d)" slot
+  | Dynamic { frame_id; length_minislots } ->
+    Format.fprintf ppf "dynamic(id=%d, len=%d)" frame_id length_minislots

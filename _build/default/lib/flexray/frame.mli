@@ -1,0 +1,21 @@
+(** FlexRay frames.
+
+    A static frame is bound to a static slot; it always fits its slot.
+    A dynamic frame has a frame identifier that doubles as its
+    arbitration priority (lower id = higher priority, transmitted
+    earlier in the dynamic segment) and a length in minislots. *)
+
+type t =
+  | Static of { slot : int }
+  | Dynamic of { frame_id : int; length_minislots : int }
+
+val static : slot:int -> t
+(** @raise Invalid_argument on negative slot. *)
+
+val dynamic : frame_id:int -> length_minislots:int -> t
+(** @raise Invalid_argument on non-positive id or length. *)
+
+val priority : t -> int
+(** Dynamic frame id; static frames sort before all dynamic ones. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type hp_frame = { length_minislots : int; period_cycles : int }
+
+let validate ~minislot_count ~own_id ~own_length hp =
+  if minislot_count <= 0 then invalid_arg "Wcrt: minislot_count";
+  if own_id <= 0 then invalid_arg "Wcrt: own_id";
+  if own_length <= 0 || own_length > minislot_count then
+    invalid_arg "Wcrt: own_length";
+  List.iter
+    (fun f ->
+      if f.length_minislots <= 0 then invalid_arg "Wcrt: hp length";
+      if f.period_cycles < 1 then invalid_arg "Wcrt: hp period")
+    hp
+
+(* Demand of the higher-priority set within a window of [q] cycles:
+   each frame contends at most ceil(q / period) times. *)
+let hp_demand hp q =
+  List.fold_left
+    (fun acc f ->
+      acc + (((q + f.period_cycles - 1) / f.period_cycles) * f.length_minislots))
+    0 hp
+
+let blocked_cycles_bound ~minislot_count ~own_id ~own_length hp =
+  validate ~minislot_count ~own_id ~own_length hp;
+  (* empty minislots skipped for absent lower ids before ours *)
+  let overhead = own_id - 1 in
+  let fits_alone = overhead + own_length <= minislot_count in
+  if not fits_alone then None
+  else begin
+    (* The frame misses a cycle only when hp transmissions eat past the
+       point where own_length still fits.  In a window of q cycles the
+       hp set can block at most floor(demand / spare) cycles where
+       spare is the room that must be consumed to block us.  Iterate
+       q = blocked + 1 until a fixed point or divergence. *)
+    let spare = minislot_count - overhead - own_length + 1 in
+    let rec iterate q guard =
+      if guard > 10_000 then None
+      else
+        let blocked = hp_demand hp q / spare in
+        let q' = blocked + 1 in
+        if q' = q then Some blocked
+        else if q' > 10_000 then None
+        else iterate (Int.max q' (q + 1)) (guard + 1)
+    in
+    iterate 1 0
+  end
+
+let wcrt_us config ~own_id ~own_length hp =
+  let minislot_count = config.Config.minislot_count in
+  match blocked_cycles_bound ~minislot_count ~own_id ~own_length hp with
+  | None -> None
+  | Some blocked ->
+    let cycle = Config.cycle_us config in
+    (* worst release: just after the dynamic segment start -> wait a
+       full cycle for the next opportunity *)
+    let wait_first = cycle in
+    (* in the successful cycle the frame finishes no later than the end
+       of the dynamic segment *)
+    let in_segment = Config.static_us config + Config.dynamic_us config in
+    Some (wait_first + (blocked * cycle) + in_segment)
+
+let one_sample_delay_ok config ~h_us ~own_id ~own_length hp =
+  match wcrt_us config ~own_id ~own_length hp with
+  | None -> false
+  | Some w -> w <= h_us

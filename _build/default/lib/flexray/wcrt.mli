@@ -1,0 +1,36 @@
+(** Worst-case response-time analysis for dynamic-segment frames, in
+    the spirit of Pop et al., "Timing Analysis of the FlexRay
+    Communication Protocol" (the paper's reference [11]), simplified to
+    the single-channel, one-message-per-id case used here.
+
+    A dynamic frame [m] can be delayed by (i) the wait until the next
+    dynamic segment, (ii) higher-priority (lower-id) frames consuming
+    minislots, and (iii) cycles in which the remaining minislots cannot
+    fit [m], pushing it to the next cycle.  The analysis below is
+    conservative: it assumes every higher-priority frame contends as
+    often as its period allows and that blocked cycles pack
+    adversarially. *)
+
+type hp_frame = {
+  length_minislots : int;
+  period_cycles : int;  (** minimum inter-release, in cycles (>= 1) *)
+}
+
+val blocked_cycles_bound :
+  minislot_count:int -> own_id:int -> own_length:int -> hp_frame list -> int option
+(** Upper bound on the number of {e full cycles} a frame can fail to be
+    transmitted; [None] when the frame can be starved forever (the
+    higher-priority demand per cycle can always exceed the segment).
+    @raise Invalid_argument on nonsensical parameters. *)
+
+val wcrt_us :
+  Config.t -> own_id:int -> own_length:int -> hp_frame list -> int option
+(** End-to-end worst-case latency from release to delivery, in µs:
+    release just after this cycle's dynamic-segment start, plus the
+    bounded number of blocked cycles, plus the worst in-segment finish
+    time. *)
+
+val one_sample_delay_ok :
+  Config.t -> h_us:int -> own_id:int -> own_length:int -> hp_frame list -> bool
+(** Does the worst case fit within one sampling period — the design
+    assumption behind the paper's ET controller [K_E]? *)

@@ -1,0 +1,1 @@
+lib/linalg/lyapunov.ml: Array Eig Float List Lu Mat

@@ -1,0 +1,1 @@
+lib/linalg/poly.ml: Array Float Format Int List Mat

@@ -1,0 +1,135 @@
+let charpoly a =
+  if not (Mat.is_square a) then invalid_arg "Eig.charpoly: non-square";
+  let n = Mat.rows a in
+  (* Faddeev–LeVerrier: m_1 = a, c_1 = -tr m_1,
+     m_k = a (m_{k-1} + c_{k-1} I), c_k = -tr(m_k)/k *)
+  let coeffs = Array.make (n + 1) 0. in
+  coeffs.(n) <- 1.;
+  let m = ref a in
+  let c = ref (-.Mat.trace a) in
+  coeffs.(n - 1) <- !c;
+  for k = 2 to n do
+    m := Mat.mul a (Mat.add !m (Mat.scale !c (Mat.identity n)));
+    c := -.Mat.trace !m /. float_of_int k;
+    coeffs.(n - k) <- !c
+  done;
+  coeffs
+
+let poly_roots ?(iterations = 500) p =
+  let p = Poly.trim p in
+  let deg = Array.length p - 1 in
+  if deg < 1 then invalid_arg "Eig.poly_roots: constant polynomial";
+  let lead = p.(deg) in
+  let monic = Array.map (fun c -> c /. lead) p in
+  let eval_c z =
+    let acc = ref Complex.zero in
+    for k = deg downto 0 do
+      acc := Complex.add (Complex.mul !acc z) { re = monic.(k); im = 0. }
+    done;
+    !acc
+  in
+  (* Durand–Kerner with the customary seed (0.4 + 0.9i)^k scaled by a
+     root bound *)
+  let bound =
+    1.
+    +. Array.fold_left
+         (fun acc c -> Float.max acc (Float.abs c))
+         0. (Array.sub monic 0 deg)
+  in
+  let seed = { Complex.re = 0.4; im = 0.9 } in
+  let roots =
+    Array.init deg (fun k ->
+        Complex.mul { re = bound; im = 0. } (Complex.pow seed { re = float_of_int (k + 1); im = 0. }))
+  in
+  let tol = 1e-13 in
+  let converged = ref false in
+  let it = ref 0 in
+  while (not !converged) && !it < iterations do
+    converged := true;
+    for i = 0 to deg - 1 do
+      let denom = ref Complex.one in
+      for j = 0 to deg - 1 do
+        if j <> i then denom := Complex.mul !denom (Complex.sub roots.(i) roots.(j))
+      done;
+      let delta = Complex.div (eval_c roots.(i)) !denom in
+      if Complex.norm delta > tol *. Float.max 1. (Complex.norm roots.(i)) then
+        converged := false;
+      roots.(i) <- Complex.sub roots.(i) delta
+    done;
+    incr it
+  done;
+  let snap z =
+    let cutoff = 1e-8 *. Float.max 1. (Complex.norm z) in
+    let re = if Float.abs z.Complex.re < 1e-12 then 0. else z.Complex.re in
+    let im = if Float.abs z.Complex.im < cutoff then 0. else z.Complex.im in
+    { Complex.re; im }
+  in
+  Array.to_list roots |> List.map snap
+  |> List.sort (fun a b -> compare (Complex.norm b) (Complex.norm a))
+
+let eigenvalues ?iterations a = poly_roots ?iterations (charpoly a)
+
+let spectral_radius a =
+  match eigenvalues a with
+  | [] -> 0.
+  | z :: _ -> Complex.norm z
+
+let is_schur_stable ?(margin = 0.) a = spectral_radius a < 1. -. margin
+
+let sym_eig a =
+  if not (Mat.is_square a) then invalid_arg "Eig.sym_eig: non-square";
+  let n = Mat.rows a in
+  let m = Array.init n (fun i -> Array.init n (fun j -> (Mat.get a i j +. Mat.get a j i) /. 2.)) in
+  let v = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.)) in
+  let off_diag () =
+    let s = ref 0. in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        s := !s +. (m.(i).(j) *. m.(i).(j))
+      done
+    done;
+    !s
+  in
+  let sweep () =
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        if Float.abs m.(p).(q) > 1e-14 then begin
+          let theta = (m.(q).(q) -. m.(p).(p)) /. (2. *. m.(p).(q)) in
+          let t =
+            let s = if theta >= 0. then 1. else -1. in
+            s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+          in
+          let c = 1. /. sqrt ((t *. t) +. 1.) in
+          let s = t *. c in
+          for k = 0 to n - 1 do
+            let mkp = m.(k).(p) and mkq = m.(k).(q) in
+            m.(k).(p) <- (c *. mkp) -. (s *. mkq);
+            m.(k).(q) <- (s *. mkp) +. (c *. mkq)
+          done;
+          for k = 0 to n - 1 do
+            let mpk = m.(p).(k) and mqk = m.(q).(k) in
+            m.(p).(k) <- (c *. mpk) -. (s *. mqk);
+            m.(q).(k) <- (s *. mpk) +. (c *. mqk)
+          done;
+          for k = 0 to n - 1 do
+            let vkp = v.(k).(p) and vkq = v.(k).(q) in
+            v.(k).(p) <- (c *. vkp) -. (s *. vkq);
+            v.(k).(q) <- (s *. vkp) +. (c *. vkq)
+          done
+        end
+      done
+    done
+  in
+  let guard = ref 0 in
+  while off_diag () > 1e-24 && !guard < 100 do
+    sweep ();
+    incr guard
+  done;
+  (* sort eigenvalues ascending, permuting eigenvector columns along *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare m.(i).(i) m.(j).(j)) order;
+  let d = Array.map (fun i -> m.(i).(i)) order in
+  let vm = Mat.init n n (fun i j -> v.(i).(order.(j))) in
+  (d, vm)
+
+let sym_eigenvalues a = fst (sym_eig a)

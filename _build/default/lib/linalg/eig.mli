@@ -1,0 +1,37 @@
+(** Eigenvalues of small dense real matrices.
+
+    Eigenvalues are computed as the roots of the characteristic
+    polynomial (Faddeev–LeVerrier), found with the Durand–Kerner
+    simultaneous iteration in complex arithmetic.  This is accurate and
+    robust for the small (n <= 8), well-scaled matrices that arise in
+    closed-loop control analysis; it is not meant for large or highly
+    non-normal matrices. *)
+
+val charpoly : Mat.t -> Poly.t
+(** Monic characteristic polynomial [det(x I - A)], coefficients in
+    ascending degree order.  @raise Invalid_argument on non-square. *)
+
+val eigenvalues : ?iterations:int -> Mat.t -> Complex.t list
+(** All eigenvalues (with multiplicity), sorted by decreasing modulus.
+    Imaginary parts below an absolute tolerance are snapped to zero. *)
+
+val poly_roots : ?iterations:int -> Poly.t -> Complex.t list
+(** Roots of an arbitrary real polynomial (degree >= 1), sorted by
+    decreasing modulus. *)
+
+val spectral_radius : Mat.t -> float
+(** Largest eigenvalue modulus. *)
+
+val is_schur_stable : ?margin:float -> Mat.t -> bool
+(** [true] iff every eigenvalue satisfies [|z| < 1 - margin]
+    (default margin [0.]).  This is discrete-time asymptotic
+    stability. *)
+
+val sym_eigenvalues : Mat.t -> float array
+(** Eigenvalues of a symmetric matrix via the cyclic Jacobi method,
+    in ascending order.  The input is symmetrised as [(A + Aᵀ)/2]. *)
+
+val sym_eig : Mat.t -> float array * Mat.t
+(** [(d, v)] with eigenvalues [d] in ascending order and orthonormal
+    eigenvectors as the columns of [v] (so [A ≈ V diag(d) Vᵀ]).  The
+    input is symmetrised first. *)

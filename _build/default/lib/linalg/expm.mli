@@ -1,0 +1,12 @@
+(** Matrix exponential by Padé approximation with scaling and squaring
+    (the classic Higham scheme, fixed [13, 13] approximant), plus the
+    augmented-matrix trick for the zero-order-hold integral. *)
+
+val expm : Mat.t -> Mat.t
+(** [expm a] is [e^a].  @raise Invalid_argument on non-square input. *)
+
+val expm_with_integral : Mat.t -> float -> Mat.t * Mat.t
+(** [expm_with_integral a h] returns
+    [(e^{a h}, \int_0^h e^{a s} ds)] computed together via the
+    exponential of the augmented block matrix [[a I; 0 0]] — exactly
+    the pair needed for zero-order-hold discretisation. *)

@@ -1,0 +1,129 @@
+exception Singular
+
+type factors = {
+  n : int;
+  lu : float array;
+  (* row-major; unit-lower-triangular L below the diagonal, U on and
+     above it *)
+  perm : int array; (* row permutation applied to the right-hand side *)
+  sign : float; (* determinant of the permutation *)
+}
+
+let pivot_tol = 1e-12
+
+let factor m =
+  if not (Mat.is_square m) then invalid_arg "Lu.factor: non-square";
+  let n = Mat.rows m in
+  let lu = Array.init (n * n) (fun k -> Mat.get m (k / n) (k mod n)) in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* partial pivoting: bring the largest |entry| of column k to row k *)
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs lu.((i * n) + k) > Float.abs lu.((!pivot_row * n) + k) then
+        pivot_row := i
+    done;
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = lu.((k * n) + j) in
+        lu.((k * n) + j) <- lu.((!pivot_row * n) + j);
+        lu.((!pivot_row * n) + j) <- tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = lu.((k * n) + k) in
+    if Float.abs pivot < pivot_tol then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = lu.((i * n) + k) /. pivot in
+      lu.((i * n) + k) <- factor;
+      for j = k + 1 to n - 1 do
+        lu.((i * n) + j) <- lu.((i * n) + j) -. (factor *. lu.((k * n) + j))
+      done
+    done
+  done;
+  { n; lu; perm; sign = !sign }
+
+let solve_factored { n; lu; perm; _ } b =
+  if Array.length b <> n then invalid_arg "Lu.solve_factored: dimension";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution with unit-lower L *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (lu.((i * n) + j) *. x.(j))
+    done
+  done;
+  (* back substitution with U *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (lu.((i * n) + j) *. x.(j))
+    done;
+    x.(i) <- x.(i) /. lu.((i * n) + i)
+  done;
+  x
+
+let solve a b = solve_factored (factor a) b
+
+let solve_mat a b =
+  if Mat.rows a <> Mat.rows b then invalid_arg "Lu.solve_mat: dimension";
+  let f = factor a in
+  let cols =
+    List.init (Mat.cols b) (fun j -> solve_factored f (Mat.col b j))
+  in
+  Mat.init (Mat.rows b) (Mat.cols b) (fun i j -> (List.nth cols j).(i))
+
+let det m =
+  match factor m with
+  | exception Singular -> 0.
+  | { n; lu; sign; _ } ->
+    let d = ref sign in
+    for i = 0 to n - 1 do
+      d := !d *. lu.((i * n) + i)
+    done;
+    !d
+
+let inverse m =
+  let n = Mat.rows m in
+  solve_mat m (Mat.identity n)
+
+let rank ?(tol = 1e-10) m =
+  let rows = Mat.rows m and cols = Mat.cols m in
+  let a = Array.init (rows * cols) (fun k -> Mat.get m (k / cols) (k mod cols)) in
+  let max_entry =
+    Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
+  in
+  let threshold = tol *. Float.max 1. max_entry in
+  let rank = ref 0 in
+  let r = ref 0 in
+  let c = ref 0 in
+  while !r < rows && !c < cols do
+    (* find largest pivot in column !c at or below row !r *)
+    let pivot_row = ref !r in
+    for i = !r + 1 to rows - 1 do
+      if Float.abs a.((i * cols) + !c) > Float.abs a.((!pivot_row * cols) + !c)
+      then pivot_row := i
+    done;
+    if Float.abs a.((!pivot_row * cols) + !c) <= threshold then incr c
+    else begin
+      if !pivot_row <> !r then
+        for j = 0 to cols - 1 do
+          let tmp = a.((!r * cols) + j) in
+          a.((!r * cols) + j) <- a.((!pivot_row * cols) + j);
+          a.((!pivot_row * cols) + j) <- tmp
+        done;
+      let pivot = a.((!r * cols) + !c) in
+      for i = !r + 1 to rows - 1 do
+        let f = a.((i * cols) + !c) /. pivot in
+        for j = !c to cols - 1 do
+          a.((i * cols) + j) <- a.((i * cols) + j) -. (f *. a.((!r * cols) + j))
+        done
+      done;
+      incr rank;
+      incr r;
+      incr c
+    end
+  done;
+  !rank

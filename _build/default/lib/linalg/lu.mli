@@ -1,0 +1,31 @@
+(** LU decomposition with partial pivoting, and the solvers built on it. *)
+
+type factors
+(** An LU factorisation [P A = L U] of a square matrix. *)
+
+exception Singular
+(** Raised when a (numerically) singular matrix is factored or solved. *)
+
+val factor : Mat.t -> factors
+(** @raise Invalid_argument on a non-square matrix.
+    @raise Singular when a pivot is smaller than the tolerance. *)
+
+val solve_factored : factors -> Vec.t -> Vec.t
+(** Solve [A x = b] given a factorisation of [A]. *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve a b] solves [a x = b].  @raise Singular. *)
+
+val solve_mat : Mat.t -> Mat.t -> Mat.t
+(** [solve_mat a b] solves [a X = b] column by column. *)
+
+val det : Mat.t -> float
+(** Determinant; 0 for singular matrices. *)
+
+val inverse : Mat.t -> Mat.t
+(** @raise Singular. *)
+
+val rank : ?tol:float -> Mat.t -> int
+(** Numerical rank via Gaussian elimination with full row pivoting.
+    Works on rectangular matrices.  The tolerance is relative to the
+    largest entry (default [1e-10]). *)

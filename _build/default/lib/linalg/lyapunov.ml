@@ -1,0 +1,175 @@
+let symmetrize a = Mat.scale 0.5 (Mat.add a (Mat.transpose a))
+
+let cholesky a =
+  if not (Mat.is_square a) then invalid_arg "Lyapunov.cholesky: non-square";
+  let a = symmetrize a in
+  let n = Mat.rows a in
+  let l = Array.make_matrix n n 0. in
+  let ok = ref true in
+  (let i = ref 0 in
+   while !ok && !i < n do
+     let i' = !i in
+     for j = 0 to i' do
+       let s = ref (Mat.get a i' j) in
+       for k = 0 to j - 1 do
+         s := !s -. (l.(i').(k) *. l.(j).(k))
+       done;
+       if i' = j then
+         if !s <= 0. then ok := false else l.(i').(j) <- sqrt !s
+       else l.(i').(j) <- !s /. l.(j).(j)
+     done;
+     incr i
+   done);
+  if !ok then Some (Mat.init n n (fun i j -> l.(i).(j))) else None
+
+let is_positive_definite ?(tol = 1e-10) a =
+  let a = symmetrize a in
+  (* shift by a small multiple of the scale so that near-singular
+     matrices are rejected *)
+  let scale = Float.max 1e-30 (Mat.norm_inf a) in
+  let shifted =
+    Mat.sub a (Mat.scale (tol *. scale) (Mat.identity (Mat.rows a)))
+  in
+  match cholesky shifted with Some _ -> true | None -> false
+
+let is_negative_definite ?tol a = is_positive_definite ?tol (Mat.scale (-1.) a)
+
+let solve_discrete a q =
+  if not (Mat.is_square a) || not (Mat.is_square q) then
+    invalid_arg "Lyapunov.solve_discrete: non-square";
+  if Mat.rows a <> Mat.rows q then
+    invalid_arg "Lyapunov.solve_discrete: shape mismatch";
+  let n = Mat.rows a in
+  let at = Mat.transpose a in
+  (* vec(aᵀ p a) = (aᵀ ⊗ aᵀ) vec p with column-major vec; using
+     row-major vec the same identity holds with (a ⊗ a)ᵀ = aᵀ ⊗ aᵀ, so
+     the system matrix is identical either way. *)
+  let system = Mat.sub (Mat.identity (n * n)) (Mat.kron at at) in
+  let vec_q = Array.init (n * n) (fun k -> Mat.get q (k / n) (k mod n)) in
+  let vec_p = Lu.solve system vec_q in
+  symmetrize (Mat.init n n (fun i j -> vec_p.((i * n) + j)))
+
+let residual a q p =
+  let at = Mat.transpose a in
+  Mat.norm_fro (Mat.add (Mat.sub (Mat.mul at (Mat.mul p a)) p) q)
+
+let decreases p a =
+  is_negative_definite (Mat.sub (Mat.mul (Mat.transpose a) (Mat.mul p a)) p)
+
+(* Projected subgradient search for a common quadratic Lyapunov
+   function (after Liberzon & Tempo, IEEE TAC 2004).  Minimise
+   f(P) = max_i lambda_max(A_i^T P A_i - P) over the set
+   {P symmetric, lambda_min(P) >= eps, tr P = n}.  A subgradient of
+   lambda_max at P is (A_i v)(A_i v)^T - v v^T for a top unit
+   eigenvector v of the worst mode.  Feasible iff f can be pushed
+   strictly negative. *)
+let subgradient_search modes n ~iterations =
+  let eps = 1e-4 in
+  let project p =
+    (* clamp eigenvalues at eps, renormalise the trace to n *)
+    let d, v = Eig.sym_eig p in
+    let d = Array.map (fun x -> Float.max x eps) d in
+    let clamped =
+      Mat.mul v (Mat.mul (Mat.init n n (fun i j -> if i = j then d.(i) else 0.))
+                   (Mat.transpose v))
+    in
+    let t = Mat.trace clamped in
+    symmetrize (Mat.scale (float_of_int n /. t) clamped)
+  in
+  let worst p =
+    (* (value, subgradient) of f at p *)
+    List.fold_left
+      (fun acc a ->
+        let m = Mat.sub (Mat.mul (Mat.transpose a) (Mat.mul p a)) p in
+        let d, vecs = Eig.sym_eig m in
+        let top = Array.length d - 1 in
+        let value = d.(top) in
+        match acc with
+        | Some (best, _) when best >= value -> acc
+        | _ ->
+          let v = Mat.col vecs top in
+          let av = Mat.mul_vec a v in
+          Some (value, Mat.sub (Mat.outer av av) (Mat.outer v v)))
+      None modes
+  in
+  let p = ref (project (Mat.identity n)) in
+  let found = ref None in
+  let i = ref 0 in
+  (* plateau detection: feasible instances drop below 0 within a few
+     hundred balanced iterations; a stagnating positive objective is a
+     strong infeasibility signal and not worth the full budget *)
+  let best = ref infinity in
+  let last_improvement = ref 0 in
+  let stalled = ref false in
+  while (!found = None) && (not !stalled) && !i < iterations do
+    (match worst !p with
+     | None -> found := Some !p
+     | Some (value, g) ->
+       if value < -.eps then found := Some !p
+       else begin
+         if value < !best -. (0.01 *. Float.abs !best) then begin
+           best := value;
+           last_improvement := !i
+         end
+         else if !i - !last_improvement > 500 then stalled := true;
+         (* Polyak-style step towards f(P) = -2 eps *)
+         let gnorm2 = Mat.norm_fro g ** 2. in
+         let step = (value +. (2. *. eps)) /. Float.max 1e-12 gnorm2 in
+         p := project (Mat.sub !p (Mat.scale step g))
+       end);
+    incr i
+  done;
+  !found
+
+(* Diagonal balancing similarity: D A D⁻¹ equalises per-coordinate row
+   and column magnitudes across the whole mode set, which dramatically
+   speeds up the subgradient search on badly scaled closed loops (e.g.
+   when the feedback gain spans orders of magnitude).  CQLF existence
+   is invariant: Q works for the balanced set iff DᵀQD works for the
+   original one. *)
+let balancing_scales modes n =
+  Array.init n (fun j ->
+      let col_max =
+        List.fold_left
+          (fun acc m ->
+            Array.fold_left Float.max acc (Array.map Float.abs (Mat.col m j)))
+          1e-9 modes
+      and row_max =
+        List.fold_left
+          (fun acc m ->
+            Array.fold_left Float.max acc (Array.map Float.abs (Mat.row m j)))
+          1e-9 modes
+      in
+      sqrt (col_max /. row_max))
+
+let common_lyapunov a1 a2 =
+  if Mat.rows a1 <> Mat.rows a2 || Mat.cols a1 <> Mat.cols a2 then
+    invalid_arg "Lyapunov.common_lyapunov: shape mismatch";
+  let n = Mat.rows a1 in
+  let q = Mat.identity n in
+  let candidate_of m = try Some (solve_discrete m q) with Lu.Singular -> None in
+  let good p = is_positive_definite p && decreases p a1 && decreases p a2 in
+  let cheap =
+    (* fast path: convex combinations of the per-mode certificates *)
+    match (candidate_of a1, candidate_of a2) with
+    | Some p1, Some p2 ->
+      List.init 11 (fun k ->
+          let t = float_of_int k /. 10. in
+          Mat.add (Mat.scale (1. -. t) p1) (Mat.scale t p2))
+    | Some p, None | None, Some p -> [ p ]
+    | None, None -> []
+  in
+  match List.find_opt good cheap with
+  | Some p -> Some p
+  | None ->
+    let d = balancing_scales [ a1; a2 ] n in
+    let dm = Mat.init n n (fun i j -> if i = j then d.(i) else 0.) in
+    let dinv = Mat.init n n (fun i j -> if i = j then 1. /. d.(i) else 0.) in
+    let balance m = Mat.mul dm (Mat.mul m dinv) in
+    (match
+       subgradient_search [ balance a1; balance a2 ] n ~iterations:20_000
+     with
+     | Some qcert ->
+       let p = symmetrize (Mat.mul (Mat.transpose dm) (Mat.mul qcert dm)) in
+       if good p then Some p else None
+     | None -> None)

@@ -1,0 +1,191 @@
+type t = { rows : int; cols : int; data : float array }
+
+let check_shape rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat: non-positive dimension"
+
+let create ~rows ~cols x =
+  check_shape rows cols;
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let zeros rows cols = create ~rows ~cols 0.
+
+let init rows cols f =
+  check_shape rows cols;
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_rows rows_list =
+  match rows_list with
+  | [] -> invalid_arg "Mat.of_rows: empty"
+  | first :: _ ->
+    let cols = List.length first in
+    if cols = 0 then invalid_arg "Mat.of_rows: empty row";
+    if not (List.for_all (fun r -> List.length r = cols) rows_list) then
+      invalid_arg "Mat.of_rows: ragged rows";
+    let rows = List.length rows_list in
+    let data = Array.make (rows * cols) 0. in
+    List.iteri
+      (fun i r -> List.iteri (fun j x -> data.((i * cols) + j) <- x) r)
+      rows_list;
+    { rows; cols; data }
+
+let of_array ~rows ~cols a =
+  check_shape rows cols;
+  if Array.length a <> rows * cols then invalid_arg "Mat.of_array: bad length";
+  { rows; cols; data = Array.copy a }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Mat.get: index out of range";
+  m.data.((i * m.cols) + j)
+
+let set m i j x =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Mat.set: index out of range";
+  let data = Array.copy m.data in
+  data.((i * m.cols) + j) <- x;
+  { m with data }
+
+let row m i =
+  if i < 0 || i >= m.rows then invalid_arg "Mat.row: index out of range";
+  Array.sub m.data (i * m.cols) m.cols
+
+let col m j =
+  if j < 0 || j >= m.cols then invalid_arg "Mat.col: index out of range";
+  Array.init m.rows (fun i -> m.data.((i * m.cols) + j))
+
+let of_row_vec v = { rows = 1; cols = Array.length v; data = Array.copy v }
+let of_col_vec v = { rows = Array.length v; cols = 1; data = Array.copy v }
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let same_shape name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.%s: shape mismatch (%dx%d vs %dx%d)" name a.rows
+         a.cols b.rows b.cols)
+
+let add a b =
+  same_shape "add" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) +. b.data.(k)) }
+
+let sub a b =
+  same_shape "sub" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) -. b.data.(k)) }
+
+let scale s a = { a with data = Array.map (fun x -> s *. x) a.data }
+
+let mul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.mul: inner dimension mismatch (%dx%d * %dx%d)"
+         a.rows a.cols b.rows b.cols);
+  let c = Array.make (a.rows * b.cols) 0. in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          c.((i * b.cols) + j) <-
+            c.((i * b.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  { rows = a.rows; cols = b.cols; data = c }
+
+let mul_vec m v =
+  if m.cols <> Array.length v then
+    invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.((i * m.cols) + j) *. v.(j))
+      done;
+      !acc)
+
+let outer x y = init (Array.length x) (Array.length y) (fun i j -> x.(i) *. y.(j))
+
+let is_square m = m.rows = m.cols
+
+let pow m k =
+  if not (is_square m) then invalid_arg "Mat.pow: non-square";
+  if k < 0 then invalid_arg "Mat.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else if k land 1 = 1 then go (mul acc base) (mul base base) (k asr 1)
+    else go acc (mul base base) (k asr 1)
+  in
+  go (identity m.rows) m k
+
+let trace m =
+  if not (is_square m) then invalid_arg "Mat.trace: non-square";
+  let acc = ref 0. in
+  for i = 0 to m.rows - 1 do
+    acc := !acc +. get m i i
+  done;
+  !acc
+
+let hstack a b =
+  if a.rows <> b.rows then invalid_arg "Mat.hstack: row mismatch";
+  init a.rows (a.cols + b.cols) (fun i j ->
+      if j < a.cols then get a i j else get b i (j - a.cols))
+
+let vstack a b =
+  if a.cols <> b.cols then invalid_arg "Mat.vstack: column mismatch";
+  init (a.rows + b.rows) a.cols (fun i j ->
+      if i < a.rows then get a i j else get b (i - a.rows) j)
+
+let block grid =
+  match grid with
+  | [] | [] :: _ -> invalid_arg "Mat.block: empty grid"
+  | _ ->
+    let glue_row blocks =
+      match blocks with
+      | [] -> invalid_arg "Mat.block: empty block row"
+      | b :: rest -> List.fold_left hstack b rest
+    in
+    let rows = List.map glue_row grid in
+    (match rows with
+     | [] -> assert false
+     | r :: rest -> List.fold_left vstack r rest)
+
+let kron a b =
+  init (a.rows * b.rows) (a.cols * b.cols) (fun i j ->
+      get a (i / b.rows) (j / b.cols) *. get b (i mod b.rows) (j mod b.cols))
+
+let map f m = { m with data = Array.map f m.data }
+
+let norm_inf m =
+  let best = ref 0. in
+  for i = 0 to m.rows - 1 do
+    let s = ref 0. in
+    for j = 0 to m.cols - 1 do
+      s := !s +. Float.abs (get m i j)
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
+
+let norm_fro m =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.data b.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%10.6g" (get m i j)
+    done;
+    Format.fprintf ppf "]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,79 @@
+(** Dense real matrices in row-major layout.
+
+    Matrices are records carrying their shape; all operations allocate
+    fresh results.  Dimensions are validated and mismatches raise
+    [Invalid_argument]. *)
+
+type t = private { rows : int; cols : int; data : float array }
+(** [data.(i * cols + j)] holds entry [(i, j)]. *)
+
+val create : rows:int -> cols:int -> float -> t
+(** [create ~rows ~cols x] is the [rows]x[cols] matrix filled with [x]. *)
+
+val zeros : int -> int -> t
+val identity : int -> t
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init rows cols f] has entry [(i, j)] equal to [f i j]. *)
+
+val of_rows : float list list -> t
+(** Build from a non-ragged list of rows.  @raise Invalid_argument if
+    rows have unequal lengths or the list is empty. *)
+
+val of_array : rows:int -> cols:int -> float array -> t
+(** Wrap a row-major array (copied).  @raise Invalid_argument if the
+    array length is not [rows * cols]. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> t
+(** [set m i j x] is a copy of [m] with entry [(i, j)] set to [x]. *)
+
+val row : t -> int -> Vec.t
+val col : t -> int -> Vec.t
+
+val of_row_vec : Vec.t -> t
+(** A 1xn matrix. *)
+
+val of_col_vec : Vec.t -> t
+(** An nx1 matrix. *)
+
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+val mul_vec : t -> Vec.t -> Vec.t
+val outer : Vec.t -> Vec.t -> t
+(** [outer x y] is the matrix [x yᵀ]. *)
+
+val pow : t -> int -> t
+(** [pow m k] for square [m] and [k >= 0]. *)
+
+val trace : t -> float
+val is_square : t -> bool
+
+val hstack : t -> t -> t
+(** Horizontal concatenation (same row count). *)
+
+val vstack : t -> t -> t
+(** Vertical concatenation (same column count). *)
+
+val block : t list list -> t
+(** Assemble a block matrix from a non-ragged grid of blocks with
+    consistent shapes. *)
+
+val kron : t -> t -> t
+(** Kronecker product. *)
+
+val map : (float -> float) -> t -> t
+val norm_inf : t -> float
+(** Max absolute row sum. *)
+
+val norm_fro : t -> float
+(** Frobenius norm. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type t = float array
+
+let zero = [| 0. |]
+let one = [| 1. |]
+let of_coeffs = Array.of_list
+
+let trim p =
+  let n = Array.length p in
+  let rec last i = if i > 0 && p.(i) = 0. then last (i - 1) else i in
+  if n = 0 then zero else Array.sub p 0 (last (n - 1) + 1)
+
+let degree p = Array.length (trim p) - 1
+
+let eval p x =
+  let acc = ref 0. in
+  for k = Array.length p - 1 downto 0 do
+    acc := (!acc *. x) +. p.(k)
+  done;
+  !acc
+
+let eval_mat p m =
+  if not (Mat.is_square m) then invalid_arg "Poly.eval_mat: non-square";
+  let n = Mat.rows m in
+  let acc = ref (Mat.zeros n n) in
+  for k = Array.length p - 1 downto 0 do
+    acc := Mat.add (Mat.mul !acc m) (Mat.scale p.(k) (Mat.identity n))
+  done;
+  !acc
+
+let add a b =
+  let n = Int.max (Array.length a) (Array.length b) in
+  let at i arr = if i < Array.length arr then arr.(i) else 0. in
+  trim (Array.init n (fun i -> at i a +. at i b))
+
+let scale s p = trim (Array.map (fun c -> s *. c) p)
+let sub a b = add a (scale (-1.) b)
+
+let mul a b =
+  let a = trim a and b = trim b in
+  let n = Array.length a + Array.length b - 1 in
+  let c = Array.make n 0. in
+  Array.iteri
+    (fun i ai -> Array.iteri (fun j bj -> c.(i + j) <- c.(i + j) +. (ai *. bj)) b)
+    a;
+  trim c
+
+let from_roots roots =
+  List.fold_left (fun acc r -> mul acc [| -.r; 1. |]) one roots
+
+let from_conjugate_pairs pairs =
+  let factor (re, im) =
+    if im = 0. then [| -.re; 1. |]
+    else [| (re *. re) +. (im *. im); -2. *. re; 1. |]
+  in
+  List.fold_left (fun acc pr -> mul acc (factor pr)) one pairs
+
+let derivative p =
+  let p = trim p in
+  if Array.length p <= 1 then zero
+  else Array.init (Array.length p - 1) (fun k -> float_of_int (k + 1) *. p.(k + 1))
+
+let approx_equal ?(tol = 1e-9) a b =
+  let a = trim a and b = trim b in
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a b
+
+let pp ppf p =
+  let p = trim p in
+  let first = ref true in
+  for k = Array.length p - 1 downto 0 do
+    if p.(k) <> 0. || (Array.length p = 1 && k = 0) then begin
+      if not !first then Format.fprintf ppf " + ";
+      (match k with
+       | 0 -> Format.fprintf ppf "%g" p.(k)
+       | 1 -> Format.fprintf ppf "%g x" p.(k)
+       | _ -> Format.fprintf ppf "%g x^%d" p.(k) k);
+      first := false
+    end
+  done;
+  if !first then Format.fprintf ppf "0"

@@ -1,0 +1,45 @@
+(** Univariate real polynomials.
+
+    A polynomial is stored as a coefficient array in ascending order of
+    degree: [p.(k)] is the coefficient of [x^k].  The zero polynomial is
+    [[|0.|]] (or any all-zero array); representations are normalised by
+    {!trim}. *)
+
+type t = float array
+
+val zero : t
+val one : t
+val of_coeffs : float list -> t
+(** Coefficients in ascending degree order. *)
+
+val degree : t -> int
+(** Degree after trimming; the zero polynomial has degree 0 by
+    convention. *)
+
+val trim : t -> t
+(** Drop trailing (highest-degree) zero coefficients. *)
+
+val eval : t -> float -> float
+(** Horner evaluation. *)
+
+val eval_mat : t -> Mat.t -> Mat.t
+(** Evaluate the polynomial at a square matrix (Horner on matrices). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+
+val from_roots : float list -> t
+(** Monic polynomial with the given real roots. *)
+
+val from_conjugate_pairs : (float * float) list -> t
+(** Monic polynomial whose roots are the given complex numbers together
+    with their conjugates; each pair [(re, im)] contributes the real
+    quadratic [x^2 - 2*re*x + (re^2 + im^2)].  Pairs with [im = 0]
+    contribute the factor [(x - re)] once. *)
+
+val derivative : t -> t
+
+val approx_equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+type t = float array
+
+let make n x = Array.make n x
+let zeros n = Array.make n 0.
+let of_list = Array.of_list
+let dim = Array.length
+let init = Array.init
+let copy = Array.copy
+
+let basis n i =
+  if i < 0 || i >= n then invalid_arg "Vec.basis: index out of range";
+  let v = zeros n in
+  v.(i) <- 1.;
+  v
+
+let check_dim name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+                   (Array.length a) (Array.length b))
+
+let add a b =
+  check_dim "add" a b;
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_dim "sub" a b;
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let scale s a = Array.map (fun x -> s *. x) a
+let neg a = scale (-1.) a
+
+let dot a b =
+  check_dim "dot" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. a
+
+let axpy a x y =
+  check_dim "axpy" x y;
+  Array.init (Array.length x) (fun i -> (a *. x.(i)) +. y.(i))
+
+let map = Array.map
+let concat = Array.append
+
+let sub_vec v ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length v then
+    invalid_arg "Vec.sub_vec: slice out of range";
+  Array.sub v pos len
+
+let approx_equal ?(tol = 1e-9) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a b
+
+let pp ppf v =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    (Array.to_list v)

@@ -1,0 +1,59 @@
+(** Dense real vectors.
+
+    A vector is an immutable-by-convention [float array]; functions in
+    this module never mutate their arguments unless the name says so
+    (suffix [_inplace]). *)
+
+type t = float array
+
+val make : int -> float -> t
+(** [make n x] is the vector of dimension [n] filled with [x]. *)
+
+val zeros : int -> t
+(** [zeros n] is the zero vector of dimension [n]. *)
+
+val of_list : float list -> t
+
+val dim : t -> int
+
+val init : int -> (int -> float) -> t
+
+val basis : int -> int -> t
+(** [basis n i] is the [i]-th canonical basis vector of dimension [n]. *)
+
+val copy : t -> t
+
+val add : t -> t -> t
+(** Pointwise sum.  @raise Invalid_argument on dimension mismatch. *)
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val neg : t -> t
+
+val dot : t -> t -> float
+(** Inner product.  @raise Invalid_argument on dimension mismatch. *)
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+(** Max-absolute-value norm; 0 on the empty vector. *)
+
+val axpy : float -> t -> t -> t
+(** [axpy a x y] is [a*x + y]. *)
+
+val map : (float -> float) -> t -> t
+
+val concat : t -> t -> t
+(** [concat x y] stacks [x] above [y]. *)
+
+val sub_vec : t -> pos:int -> len:int -> t
+(** [sub_vec v ~pos ~len] extracts the slice [v.(pos) .. v.(pos+len-1)]. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Componentwise comparison with absolute tolerance (default [1e-9]).
+    Vectors of different dimensions are never equal. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sched/appspec.ml: Array Format Int

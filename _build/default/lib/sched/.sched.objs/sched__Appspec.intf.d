@@ -1,0 +1,1 @@
+lib/sched/appspec.mli: Format

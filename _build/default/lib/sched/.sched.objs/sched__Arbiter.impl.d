@@ -1,0 +1,1 @@
+lib/sched/arbiter.ml: Appspec Array List Slot_state

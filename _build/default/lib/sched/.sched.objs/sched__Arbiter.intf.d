@@ -1,0 +1,1 @@
+lib/sched/arbiter.mli: Appspec Slot_state

@@ -1,0 +1,1 @@
+lib/sched/baseline.ml: Int List Option

@@ -1,0 +1,1 @@
+lib/sched/slot_state.ml: Appspec Array Format Hashtbl List Printf

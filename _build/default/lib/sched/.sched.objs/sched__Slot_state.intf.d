@@ -1,0 +1,1 @@
+lib/sched/slot_state.mli: Appspec Format

@@ -1,0 +1,34 @@
+type t = {
+  id : int;
+  name : string;
+  t_w_max : int;
+  t_dw_min : int array;
+  t_dw_max : int array;
+  r : int;
+}
+
+let max_service_of ~t_w_max ~t_dw_max =
+  let best = ref 0 in
+  Array.iteri (fun t_w d -> best := Int.max !best (t_w + d)) t_dw_max;
+  ignore t_w_max;
+  !best
+
+let make ~id ~name ~t_w_max ~t_dw_min ~t_dw_max ~r =
+  if t_w_max < 0 then invalid_arg "Appspec.make: negative t_w_max";
+  let len = t_w_max + 1 in
+  if Array.length t_dw_min <> len || Array.length t_dw_max <> len then
+    invalid_arg "Appspec.make: dwell arrays must have length t_w_max + 1";
+  if not (Array.for_all (fun d -> d > 0) t_dw_min) then
+    invalid_arg "Appspec.make: non-positive minimum dwell";
+  if not (Array.for_all2 (fun a b -> a <= b) t_dw_min t_dw_max) then
+    invalid_arg "Appspec.make: t_dw_min exceeds t_dw_max";
+  if r <= max_service_of ~t_w_max ~t_dw_max then
+    invalid_arg "Appspec.make: r must exceed every t_w + t_dw_max(t_w)";
+  { id; name; t_w_max; t_dw_min; t_dw_max; r }
+
+let with_id t id = { t with id }
+
+let max_service t = max_service_of ~t_w_max:t.t_w_max ~t_dw_max:t.t_dw_max
+
+let pp ppf t =
+  Format.fprintf ppf "%s(id=%d, T*w=%d, r=%d)" t.name t.id t.t_w_max t.r

@@ -1,0 +1,41 @@
+(** The timing abstraction of a control application, as seen by the
+    scheduler and the verifier.
+
+    All control dynamics are compressed into four pieces of integer
+    timing data (paper Sec. 4): the maximum tolerable wait [t_w_max]
+    (T*_w), the dwell-time tables [t_dw_min]/[t_dw_max] indexed by the
+    actual wait, and the minimum disturbance inter-arrival time [r].
+    Everything is measured in samples. *)
+
+type t = private {
+  id : int;  (** dense index within a slot group *)
+  name : string;
+  t_w_max : int;
+  t_dw_min : int array;  (** length [t_w_max + 1] *)
+  t_dw_max : int array;  (** length [t_w_max + 1] *)
+  r : int;
+}
+
+val make :
+  id:int ->
+  name:string ->
+  t_w_max:int ->
+  t_dw_min:int array ->
+  t_dw_max:int array ->
+  r:int ->
+  t
+(** @raise Invalid_argument when array lengths are not [t_w_max + 1],
+    any dwell bound is non-positive, [t_dw_min] exceeds [t_dw_max]
+    pointwise, or [r] is not larger than every
+    [t_w + t_dw_max(t_w)] (a new disturbance must not arrive while the
+    previous one is still being served). *)
+
+val with_id : t -> int -> t
+(** Same spec under a different dense index. *)
+
+val max_service : t -> int
+(** The largest possible [t_w + t_dw_max(t_w)]: an upper bound on the
+    number of samples between seeing a disturbance and releasing the
+    slot. *)
+
+val pp : Format.formatter -> t -> unit

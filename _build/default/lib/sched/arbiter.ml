@@ -1,0 +1,64 @@
+type log_entry = {
+  sample : int;
+  event : [ `Grant of int * int | `Release of int | `Preempt of int | `Error of int ];
+}
+
+type t = {
+  specs : Appspec.t array;
+  policy : Slot_state.policy;
+  mutable state : Slot_state.t;
+  mutable sample : int;
+  mutable log : log_entry list;  (* newest first *)
+  mutable owners : int option list;  (* newest first *)
+}
+
+let create ?(policy = Slot_state.Eager_preempt) specs =
+  {
+    specs;
+    policy;
+    state = Slot_state.initial specs;
+    sample = 0;
+    log = [];
+    owners = [];
+  }
+
+let specs t = t.specs
+let sample t = t.sample
+
+let step t ?(disturbed = []) () =
+  let state, outcome = Slot_state.tick ~policy:t.policy t.specs t.state ~disturbed in
+  let entry event = { sample = t.sample; event } in
+  List.iter (fun (id, wt) -> t.log <- entry (`Grant (id, wt)) :: t.log)
+    outcome.Slot_state.granted;
+  List.iter (fun id -> t.log <- entry (`Release id) :: t.log)
+    outcome.Slot_state.released;
+  List.iter (fun id -> t.log <- entry (`Preempt id) :: t.log)
+    outcome.Slot_state.preempted;
+  List.iter (fun id -> t.log <- entry (`Error id) :: t.log)
+    outcome.Slot_state.new_errors;
+  t.state <- state;
+  t.owners <- state.Slot_state.owner :: t.owners;
+  t.sample <- t.sample + 1;
+  outcome
+
+let run t ~horizon ~disturbances =
+  List.iter
+    (fun (s, _) ->
+      if s < t.sample then invalid_arg "Arbiter.run: disturbance in the past")
+    disturbances;
+  for k = t.sample to t.sample + horizon - 1 do
+    let disturbed =
+      List.filter_map (fun (s, id) -> if s = k then Some id else None)
+        disturbances
+    in
+    ignore (step t ~disturbed ())
+  done
+
+let owner_trace t = Array.of_list (List.rev t.owners)
+let state t = t.state
+let log t = List.rev t.log
+
+let errors t =
+  List.filter_map
+    (fun e -> match e.event with `Error id -> Some id | _ -> None)
+    (log t)

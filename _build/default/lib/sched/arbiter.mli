@@ -1,0 +1,40 @@
+(** Imperative convenience wrapper around {!Slot_state} for running
+    scheduling scenarios and co-simulations: keeps the current state,
+    the sample counter, and a log of grants/releases/preemptions. *)
+
+type t
+
+type log_entry = {
+  sample : int;
+  event : [ `Grant of int * int  (** id, wait at grant *)
+          | `Release of int
+          | `Preempt of int
+          | `Error of int ];
+}
+
+val create : ?policy:Slot_state.policy -> Appspec.t array -> t
+(** Default policy {!Slot_state.Eager_preempt}. *)
+
+val specs : t -> Appspec.t array
+
+val sample : t -> int
+(** Number of ticks executed so far. *)
+
+val step : t -> ?disturbed:int list -> unit -> Slot_state.outcome
+(** Advance one sample; [disturbed] defaults to none. *)
+
+val run : t -> horizon:int -> disturbances:(int * int) list -> unit
+(** [run t ~horizon ~disturbances] executes [horizon] ticks where
+    [disturbances] lists [(sample, id)] arrival events (the disturbance
+    is seen by the scheduler at that tick).  Events must not be earlier
+    than the current sample. *)
+
+val owner_trace : t -> int option array
+(** Slot owner at each executed sample, index = sample. *)
+
+val state : t -> Slot_state.t
+val log : t -> log_entry list
+(** Chronological. *)
+
+val errors : t -> int list
+(** Ids that entered the error phase. *)

@@ -1,0 +1,87 @@
+type spec = { id : int; name : string; w_star : int; c_occ : int; r : int }
+
+type strategy = Dm | Delayed
+
+let make_spec ~id ~name ~w_star ~c_occ ~r =
+  if w_star < 0 then invalid_arg "Baseline.make_spec: negative deadline";
+  if c_occ <= 0 then invalid_arg "Baseline.make_spec: non-positive occupancy";
+  if r <= 0 then invalid_arg "Baseline.make_spec: non-positive inter-arrival";
+  { id; name; w_star; c_occ; r }
+
+(* deadline-monotonic priority order: smaller w_star = higher priority;
+   ties broken by id for determinism *)
+let higher_priority a b =
+  a.w_star < b.w_star || (a.w_star = b.w_star && a.id < b.id)
+
+let hp_and_lp group self =
+  let others = List.filter (fun s -> s.id <> self.id) group in
+  List.partition (fun s -> higher_priority s self) others
+
+(* Non-preemptive start-time analysis: the request of [self] is
+   schedulable iff the fixed point of
+     S = B + sum_{j in hp} (floor(S / r_j) + 1) * c_j
+   satisfies S <= deadline.  B is the blocking by at most one
+   lower-priority occupant that grabbed the slot just before the
+   request arrived. *)
+let start_time_bound ~blocking ~deadline hp =
+  let interference s =
+    List.fold_left
+      (fun acc j -> acc + (((s / j.r) + 1) * j.c_occ))
+      0 hp
+  in
+  let rec iterate s guard =
+    if s > deadline || guard > 1000 then None
+    else
+      let s' = blocking + interference s in
+      if s' = s then Some s else iterate s' (guard + 1)
+  in
+  iterate blocking 0
+
+let response_bound strategy group self =
+  let hp, lp = hp_and_lp group self in
+  match strategy with
+  | Dm ->
+    let blocking = List.fold_left (fun acc j -> Int.max acc j.c_occ) 0 lp in
+    start_time_bound ~blocking ~deadline:self.w_star hp
+  | Delayed ->
+    (* Lower-priority requests are postponed whenever they could block a
+       higher-priority application past its deadline, so the blocking
+       term vanishes.  The price is paid by the delayed application
+       itself: before occupying the slot it must leave a safety window
+       for each higher-priority application whose tolerance cannot
+       absorb a full occupancy, which shortens its own effective
+       deadline by that shortfall. *)
+    let blocking = 0 in
+    let self_delay =
+      List.fold_left
+        (fun acc i -> Int.max acc (Int.max 0 (self.c_occ - i.w_star)))
+        0 hp
+    in
+    let deadline = self.w_star - self_delay in
+    if deadline < 0 then None
+    else
+      Option.map (fun s -> s + self_delay)
+        (start_time_bound ~blocking ~deadline hp)
+
+let schedulable strategy group =
+  List.for_all (fun s -> response_bound strategy group s <> None) group
+
+let first_fit strategy specs =
+  let try_place placed spec =
+    let rec go = function
+      | [] -> None
+      | slot :: rest ->
+        if schedulable strategy (spec :: slot) then Some ((spec :: slot) :: rest)
+        else Option.map (fun r -> slot :: r) (go rest)
+    in
+    go placed
+  in
+  let slots =
+    List.fold_left
+      (fun placed spec ->
+        match try_place placed spec with
+        | Some placed -> placed
+        | None -> placed @ [ [ spec ] ])
+      [] specs
+  in
+  List.map List.rev slots

@@ -1,0 +1,42 @@
+(** Reconstruction of the baseline scheduling strategies of Masrur et
+    al. (DATE 2012), reference [9] of the paper.
+
+    In the baseline, an application that gets the TT slot holds it
+    {e non-preemptively until the disturbance is fully rejected}; only
+    then does it return to ET.  Each application is therefore
+    characterised by two integers:
+
+    - [w_star] — the largest wait after which full-TT rejection still
+      meets the settling budget (its "deadline" for getting the slot);
+    - [c_occ] — the worst-case slot occupancy once granted (the full
+      rejection time).
+
+    Strategy {!Dm} is standard non-preemptive deadline-monotonic
+    arbitration of the slot: the schedulability test is the classic
+    start-time analysis with blocking from at most one lower-priority
+    occupant.  Strategy {!Delayed} additionally delays the slot
+    requests of lower-priority applications so they can never block a
+    higher-priority one that will arrive within the blocking window
+    (reducing the blocking term to the largest occupancy among apps
+    that could not be delayed), at the price of consuming part of the
+    delayed application's own deadline.  Both tests are conservative —
+    which is exactly the point of the paper's comparison. *)
+
+type spec = { id : int; name : string; w_star : int; c_occ : int; r : int }
+
+type strategy = Dm | Delayed
+
+val make_spec : id:int -> name:string -> w_star:int -> c_occ:int -> r:int -> spec
+(** @raise Invalid_argument on non-positive [c_occ]/[r] or negative
+    [w_star]. *)
+
+val schedulable : strategy -> spec list -> bool
+(** Can this group share one TT slot under the given strategy? *)
+
+val response_bound : strategy -> spec list -> spec -> int option
+(** Worst-case wait bound for [spec] within the group; [None] when the
+    fixed-point iteration diverges past the deadline. *)
+
+val first_fit : strategy -> spec list -> spec list list
+(** Pack applications into slots first-fit, in the given order,
+    re-running {!schedulable} on each candidate group. *)

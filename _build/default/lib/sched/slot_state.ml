@@ -1,0 +1,198 @@
+type phase =
+  | Steady
+  | Waiting of { wt : int }
+  | Running of { wt_granted : int; ct : int; dt_min : int; dt_max : int }
+  | Safe of { age : int }
+  | Error
+
+type t = { phases : phase array; buffer : int list; owner : int option }
+
+type outcome = {
+  granted : (int * int) list;
+  released : int list;
+  preempted : int list;
+  new_errors : int list;
+}
+
+type policy = Eager_preempt | Lazy_preempt
+
+let initial specs =
+  Array.iteri
+    (fun i (s : Appspec.t) ->
+      if s.Appspec.id <> i then
+        invalid_arg "Slot_state.initial: ids must be dense and in order")
+    specs;
+  { phases = Array.map (fun _ -> Steady) specs; buffer = []; owner = None }
+
+(* EDF insertion implementing the Sort automaton: the new request is
+   placed before the first queued request with strictly larger slack.
+   Slack of a waiting app = t_w_max - wt. *)
+let insert_edf specs phases buffer id =
+  let slack i =
+    match phases.(i) with
+    | Waiting { wt } -> specs.(i).Appspec.t_w_max - wt
+    | Steady | Running _ | Safe _ | Error ->
+      invalid_arg "Slot_state: non-waiting id in buffer"
+  in
+  let s_new = slack id in
+  let rec go = function
+    | [] -> [ id ]
+    | q :: rest as all -> if slack q > s_new then id :: all else q :: go rest
+  in
+  go buffer
+
+let tick ?(policy = Eager_preempt) specs state ~disturbed =
+  let n = Array.length specs in
+  let phases = Array.copy state.phases in
+  (* 1. aging *)
+  for i = 0 to n - 1 do
+    phases.(i) <-
+      (match phases.(i) with
+       | Steady -> Steady
+       | Waiting { wt } -> Waiting { wt = wt + 1 }
+       | Running r -> Running { r with ct = r.ct + 1 }
+       | Safe { age } -> Safe { age = age + 1 }
+       | Error -> Error)
+  done;
+  (* 2. quiet period over *)
+  for i = 0 to n - 1 do
+    match phases.(i) with
+    | Safe { age } when age >= specs.(i).Appspec.r -> phases.(i) <- Steady
+    | Safe _ | Steady | Waiting _ | Running _ | Error -> ()
+  done;
+  (* 3. admit new disturbances *)
+  let buffer = ref state.buffer in
+  List.iter
+    (fun id ->
+      if id < 0 || id >= n then invalid_arg "Slot_state.tick: bad id";
+      match phases.(id) with
+      | Steady ->
+        phases.(id) <- Waiting { wt = 0 };
+        buffer := insert_edf specs phases !buffer id
+      | Waiting _ | Running _ | Safe _ | Error ->
+        invalid_arg
+          (Printf.sprintf
+             "Slot_state.tick: disturbance for %s while not steady \
+              (violates the sporadic model)"
+             specs.(id).Appspec.name))
+    disturbed;
+  (* 4. deadline misses: an application that has waited past T*_w can
+     no longer be served within its table and is in error; it must be
+     flagged (and dropped from the buffer) before any grant so the
+     dwell lookup below never sees an out-of-range wait *)
+  let new_errors = ref [] in
+  for i = 0 to n - 1 do
+    match phases.(i) with
+    | Waiting { wt } when wt > specs.(i).Appspec.t_w_max ->
+      phases.(i) <- Error;
+      new_errors := i :: !new_errors
+    | Waiting _ | Steady | Running _ | Safe _ | Error -> ()
+  done;
+  buffer :=
+    List.filter
+      (fun id -> match phases.(id) with Waiting _ -> true | _ -> false)
+      !buffer;
+  (* 5. slot update *)
+  let released = ref [] and preempted = ref [] and granted = ref [] in
+  let owner = ref state.owner in
+  let grant_head () =
+    match !buffer with
+    | [] -> ()
+    | id :: rest ->
+      (match phases.(id) with
+       | Waiting { wt } ->
+         let dt_min = specs.(id).Appspec.t_dw_min.(wt)
+         and dt_max = specs.(id).Appspec.t_dw_max.(wt) in
+         phases.(id) <- Running { wt_granted = wt; ct = 0; dt_min; dt_max };
+         buffer := rest;
+         owner := Some id;
+         granted := (id, wt) :: !granted
+       | Steady | Running _ | Safe _ | Error ->
+         invalid_arg "Slot_state: buffer head not waiting")
+  in
+  (match !owner with
+   | None -> grant_head ()
+   | Some id ->
+     (match phases.(id) with
+      | Running { ct; dt_max; dt_min; wt_granted } ->
+        (* the quiet timer of ET_SAFE runs from the sample at which the
+           scheduler first saw the disturbance (the paper's time[id]),
+           which is wt_granted + ct samples ago *)
+        if ct >= dt_max then begin
+          (* voluntary release at the maximum useful dwell *)
+          phases.(id) <- Safe { age = wt_granted + ct };
+          owner := None;
+          released := id :: !released;
+          grant_head ()
+        end
+        else if
+          ct >= dt_min && !buffer <> []
+          && (match policy with
+              | Eager_preempt -> true
+              | Lazy_preempt ->
+                (* postpone until some waiter is on its last chance *)
+                List.exists
+                  (fun i ->
+                    match phases.(i) with
+                    | Waiting { wt } -> wt >= specs.(i).Appspec.t_w_max
+                    | Steady | Running _ | Safe _ | Error -> false)
+                  !buffer)
+        then begin
+          (* preemption once the minimum dwell is honoured *)
+          phases.(id) <- Safe { age = wt_granted + ct };
+          owner := None;
+          preempted := id :: !preempted;
+          grant_head ()
+        end
+      | Steady | Waiting _ | Safe _ | Error ->
+        invalid_arg "Slot_state: owner not running"));
+  ( { phases; buffer = !buffer; owner = !owner },
+    {
+      granted = List.rev !granted;
+      released = List.rev !released;
+      preempted = List.rev !preempted;
+      new_errors = List.rev !new_errors;
+    } )
+
+let force_steady t ~keep_quiet =
+  let changed = ref false in
+  let phases =
+    Array.mapi
+      (fun i p ->
+        match p with
+        | Safe _ when not (keep_quiet i) ->
+          changed := true;
+          Steady
+        | Safe _ | Steady | Waiting _ | Running _ | Error -> p)
+      t.phases
+  in
+  if !changed then { t with phases } else t
+
+let has_error t =
+  Array.exists (function Error -> true | _ -> false) t.phases
+
+let phase t i = t.phases.(i)
+
+let all_steady t =
+  Array.for_all (function Steady -> true | _ -> false) t.phases
+
+let equal a b =
+  a.owner = b.owner && a.buffer = b.buffer && a.phases = b.phases
+
+let hash t = Hashtbl.hash (t.phases, t.buffer, t.owner)
+
+let pp specs ppf t =
+  let pp_phase ppf = function
+    | Steady -> Format.pp_print_string ppf "steady"
+    | Waiting { wt } -> Format.fprintf ppf "wait(%d)" wt
+    | Running { ct; wt_granted; _ } -> Format.fprintf ppf "run(ct=%d,w=%d)" ct wt_granted
+    | Safe { age } -> Format.fprintf ppf "safe(%d)" age
+    | Error -> Format.pp_print_string ppf "ERROR"
+  in
+  Format.fprintf ppf "@[<h>";
+  Array.iteri
+    (fun i p ->
+      if i > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%s:%a" specs.(i).Appspec.name pp_phase p)
+    t.phases;
+  Format.fprintf ppf "@]"

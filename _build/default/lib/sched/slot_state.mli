@@ -1,0 +1,89 @@
+(** The canonical single-slot scheduler semantics (paper Sec. 4).
+
+    One TT slot is shared by a group of applications.  The state is an
+    immutable value and {!tick} is the one-sample transition function;
+    both the runtime {!Arbiter} and the exact discrete verifier
+    ([core.Dverify]) are built on it, so the co-simulation and the
+    model checking cannot drift apart.
+
+    Per-sample semantics (in order):
+    + every application that is waiting or being served ages by one
+      sample; waiting applications' wait counters [WT] increase;
+    + applications whose post-disturbance quiet time reached [r] return
+      to [Steady];
+    + disturbances that arrived during the previous inter-sample
+      interval are admitted: each moves its (necessarily [Steady])
+      application to [Waiting] with [WT = 0] and inserts it into the
+      buffer in EDF order (least slack [T*_w - WT] first, ties behind
+      incumbents — exactly the Sort automaton's strict comparison);
+    + the slot is updated: a running application that has exhausted its
+      maximum dwell [T⁺_dw(T_w)] releases the slot; if the slot is free
+      the buffer head is granted (recording [T⁻_dw]/[T⁺_dw] looked up at
+      its current [WT]); otherwise, if the occupant has served at least
+      its minimum dwell [T⁻_dw] and somebody is waiting, it is
+      preempted and the head granted;
+    + any application still waiting with [WT > T*_w] moves to [Error].
+ *)
+
+type phase =
+  | Steady
+  | Waiting of { wt : int }
+  | Running of { wt_granted : int; ct : int; dt_min : int; dt_max : int }
+  | Safe of { age : int }
+      (** slot released; [age] counts samples since the scheduler first
+          saw the disturbance (the paper's [time\[id\]]), and the
+          application returns to [Steady] once [age] reaches [r] *)
+  | Error
+
+type t = private {
+  phases : phase array;  (** indexed by [Appspec.id] *)
+  buffer : int list;  (** waiting ids in EDF service order *)
+  owner : int option;
+}
+
+type outcome = {
+  granted : (int * int) list;  (** (id, wait at grant) *)
+  released : int list;  (** voluntary releases this sample *)
+  preempted : int list;
+  new_errors : int list;
+}
+
+type policy =
+  | Eager_preempt
+      (** the paper's strategy: preempt the occupant as soon as its
+          minimum dwell is honoured and somebody is waiting *)
+  | Lazy_preempt
+      (** the paper's concluding-remarks variant: let the occupant keep
+          improving its settling time and preempt only when a waiting
+          application is on its last admissible sample
+          ([WT = T*_w]) — better average control performance, possibly
+          at the cost of schedulability (re-verify!) *)
+
+val initial : Appspec.t array -> t
+(** All applications [Steady].  Validates that ids are dense [0..n-1].
+    @raise Invalid_argument otherwise. *)
+
+val tick :
+  ?policy:policy -> Appspec.t array -> t -> disturbed:int list -> t * outcome
+(** One sample (default policy {!Eager_preempt}).  [disturbed] lists
+    (in arrival order) the applications whose disturbance arrived since
+    the previous sample.
+    @raise Invalid_argument if a disturbed application is not [Steady]
+    (the sporadic model with [J* < r] excludes this; feeding such an
+    input is a harness bug). *)
+
+val has_error : t -> bool
+val phase : t -> int -> phase
+val all_steady : t -> bool
+
+val force_steady : t -> keep_quiet:(int -> bool) -> t
+(** Snap every [Safe] application for which [keep_quiet id] is [false]
+    directly to [Steady].  This is an abstraction hook for verifiers:
+    when an application can provably never be disturbed again (e.g. its
+    disturbance budget is exhausted in bounded-instance verification),
+    its quiet countdown is behaviourally irrelevant and collapsing it
+    shrinks the state space. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Appspec.t array -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ta/automaton.mli: Dbm

@@ -1,0 +1,1 @@
+lib/ta/concrete.ml: Array Automaton List Network Printf

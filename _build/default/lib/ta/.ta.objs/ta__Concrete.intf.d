@@ -1,0 +1,1 @@
+lib/ta/concrete.mli: Automaton Network

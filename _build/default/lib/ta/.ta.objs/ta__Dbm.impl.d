@@ -1,0 +1,1 @@
+lib/ta/dbm.ml: Array Format Hashtbl Int

@@ -1,0 +1,1 @@
+lib/ta/dbm.mli: Format

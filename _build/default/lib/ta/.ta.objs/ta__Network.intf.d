@@ -1,0 +1,1 @@
+lib/ta/network.mli: Automaton Dbm

@@ -1,0 +1,1 @@
+lib/ta/reach.ml: Array Automaton Dbm Hashtbl List Network Obj Option Printf Queue Unix

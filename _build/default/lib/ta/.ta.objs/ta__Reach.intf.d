@@ -1,0 +1,1 @@
+lib/ta/reach.mli: Automaton Network

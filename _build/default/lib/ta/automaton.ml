@@ -1,0 +1,80 @@
+type store = int array
+
+type cmp = Lt | Le | Gt | Ge | Eq
+
+type clock_guard = { clock : int; cmp : cmp; value : store -> int }
+
+type sync = Send of int | Recv of int
+
+type kind = Normal | Urgent | Committed
+
+type location = { loc_name : string; kind : kind; invariant : clock_guard list }
+
+type edge = {
+  src : int;
+  dst : int;
+  guards : clock_guard list;
+  data_guard : store -> bool;
+  sync : sync option;
+  resets : store -> (int * int) list;
+  update : store -> store;
+}
+
+type t = {
+  name : string;
+  locations : location array;
+  initial : int;
+  edges : edge list;
+}
+
+let make ~name ~locations ~initial ~edges =
+  let n = Array.length locations in
+  if n = 0 then invalid_arg "Automaton.make: no locations";
+  if initial < 0 || initial >= n then invalid_arg "Automaton.make: bad initial";
+  List.iter
+    (fun e ->
+      if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+        invalid_arg
+          (Printf.sprintf "Automaton.make: dangling edge %d -> %d in %s" e.src
+             e.dst name))
+    edges;
+  { name; locations; initial; edges }
+
+let location ?(kind = Normal) ?(invariant = []) loc_name =
+  { loc_name; kind; invariant }
+
+let edge ?(guards = []) ?(data_guard = fun _ -> true) ?sync ?(resets = [])
+    ?(dyn_resets = fun _ -> []) ?(update = fun s -> s) ~src ~dst () =
+  {
+    src;
+    dst;
+    guards;
+    data_guard;
+    sync;
+    resets = (fun store -> resets @ dyn_resets store);
+    update;
+  }
+
+let guard_const clock cmp v = { clock; cmp; value = (fun _ -> v) }
+let guard_var clock cmp value = { clock; cmp; value }
+
+(* x cmp v translated onto the DBM:
+   x <  v : x - 0 <  v
+   x <= v : x - 0 <= v
+   x >  v : 0 - x < -v
+   x >= v : 0 - x <= -v
+   x == v : both weak inequalities *)
+let apply_guard zone store g =
+  let v = g.value store in
+  match g.cmp with
+  | Lt -> Dbm.constrain zone g.clock 0 (Dbm.lt v)
+  | Le -> Dbm.constrain zone g.clock 0 (Dbm.le v)
+  | Gt -> Dbm.constrain zone 0 g.clock (Dbm.lt (-v))
+  | Ge -> Dbm.constrain zone 0 g.clock (Dbm.le (-v))
+  | Eq ->
+    Dbm.constrain
+      (Dbm.constrain zone g.clock 0 (Dbm.le v))
+      0 g.clock (Dbm.le (-v))
+
+let apply_guards zone store guards =
+  List.fold_left (fun z g -> apply_guard z store g) zone guards

@@ -1,0 +1,87 @@
+(** Syntax of timed automata with shared discrete state.
+
+    An automaton has named locations (normal, urgent, or committed),
+    location invariants, and edges carrying clock guards, a data guard,
+    an optional channel synchronisation, clock resets, and a data
+    update.  Discrete state is a shared integer store manipulated by
+    opaque OCaml functions, which is expressive enough to encode the
+    paper's buffers and dwell-table lookups directly (the analogue of
+    UPPAAL's C-like declarations).
+
+    Clock guards may have {e data-dependent} bounds (e.g.
+    [cT >= DT-\[app\]]): the bound is a function of the current store,
+    evaluated when the guard is applied to a zone. *)
+
+type store = int array
+
+type cmp = Lt | Le | Gt | Ge | Eq
+
+type clock_guard = {
+  clock : int;  (** global clock index, 1-based *)
+  cmp : cmp;
+  value : store -> int;
+}
+
+type sync = Send of int | Recv of int  (** channel id *)
+
+type kind = Normal | Urgent | Committed
+
+type location = {
+  loc_name : string;
+  kind : kind;
+  invariant : clock_guard list;
+      (** only upper-bound forms ([Lt]/[Le]) are meaningful here *)
+}
+
+type edge = {
+  src : int;
+  dst : int;
+  guards : clock_guard list;
+  data_guard : store -> bool;
+  sync : sync option;
+  resets : store -> (int * int) list;
+      (** (clock, value) pairs, applied left to right; computed from the
+          {e pre-transition} store so that data-dependent resets (e.g.
+          "reset [time\[id\]] for every id in buffer0") can be
+          expressed, as the paper's transfer step requires *)
+  update : store -> store;
+}
+
+type t = {
+  name : string;
+  locations : location array;
+  initial : int;
+  edges : edge list;
+}
+
+val make :
+  name:string -> locations:location array -> initial:int -> edges:edge list -> t
+(** @raise Invalid_argument on dangling location indices. *)
+
+val location : ?kind:kind -> ?invariant:clock_guard list -> string -> location
+
+val edge :
+  ?guards:clock_guard list ->
+  ?data_guard:(store -> bool) ->
+  ?sync:sync ->
+  ?resets:(int * int) list ->
+  ?dyn_resets:(store -> (int * int) list) ->
+  ?update:(store -> store) ->
+  src:int ->
+  dst:int ->
+  unit ->
+  edge
+(** [resets] (static) and [dyn_resets] (store-dependent) are
+    concatenated, static first. *)
+
+val guard_const : int -> cmp -> int -> clock_guard
+(** Clock compared to a constant. *)
+
+val guard_var : int -> cmp -> (store -> int) -> clock_guard
+(** Clock compared to a store-dependent value. *)
+
+val apply_guard : Dbm.t -> store -> clock_guard -> Dbm.t
+(** Intersect a zone with one guard atom ([Eq] expands to both
+    inequalities). *)
+
+val apply_guards : Dbm.t -> store -> clock_guard list -> Dbm.t

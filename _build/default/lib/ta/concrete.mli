@@ -1,0 +1,63 @@
+(** Concrete-state execution of a network: the analogue of UPPAAL's
+    simulator, which the paper uses to extract the switching sequences
+    behind its Figs. 8 and 9.
+
+    The executor keeps an integer valuation of every clock and advances
+    in two alternating phases: fire all enabled discrete transitions
+    (as chosen by a policy) until none remains or the policy passes,
+    then let one time unit elapse (if every location invariant allows
+    it).  Integer-step time is exact for models whose guards compare
+    clocks against integers and whose interesting events happen at
+    integer times — which is the case for the tick-driven scheduler
+    model. *)
+
+type state = {
+  locs : int array;
+  store : Automaton.store;
+  clocks : int array;  (** index 0 is the reference clock, always 0 *)
+  time : int;  (** global time elapsed *)
+}
+
+type action = {
+  label : string;
+  edges : (int * Automaton.edge) list;  (** (automaton, edge); sender first *)
+}
+
+type policy = state -> action list -> action option
+(** Given the current state and the enabled discrete actions, choose
+    one to fire, or [None] to let time pass (only honoured when delay
+    is allowed; in a committed/urgent configuration with enabled
+    actions, refusing to choose is an execution error). *)
+
+exception Stuck of string
+(** Raised when the configuration can neither fire (no enabled action,
+    or the policy refused in a committed/urgent configuration) nor
+    delay (an invariant forbids it). *)
+
+val initial : Network.t -> state
+
+val enabled : Network.t -> state -> action list
+
+val can_delay : Network.t -> state -> bool
+(** No committed/urgent location active and all invariants hold after
+    +1. *)
+
+val step : Network.t -> policy -> state -> state * action option
+(** One micro-step: either a fired action ([Some a]) or a unit delay
+    ([None]).  @raise Stuck (see above). *)
+
+val run :
+  Network.t ->
+  policy ->
+  until:int ->
+  (state -> action option -> unit) ->
+  state
+(** Execute until global time reaches [until], invoking the observer
+    after every micro-step.  @raise Stuck. *)
+
+val first_enabled : policy
+(** The deterministic default: always fire the first enabled action. *)
+
+val prefer : (string -> bool) -> policy
+(** Fire the first action whose label satisfies the predicate, else the
+    first enabled one, else delay. *)

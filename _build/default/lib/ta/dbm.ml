@@ -1,0 +1,191 @@
+(* Bound encoding: infinity is [max_int]; a finite bound (m, strict?)
+   is [2m + (0 if strict, 1 if weak)].  With this encoding the natural
+   integer order coincides with bound tightness: (m, <) < (m, <=) <
+   (m+1, <). *)
+
+type bound = int
+
+let inf = max_int
+let le m = (2 * m) + 1
+let lt m = 2 * m
+
+let bound_add a b =
+  if a = inf || b = inf then inf
+  else
+    let m = (a asr 1) + (b asr 1) in
+    (2 * m) + (a land b land 1)
+
+let bound_compare = Int.compare
+
+(* matrix stored row-major over n+1 clock indices; a negative-diagonal
+   marker denotes the canonical empty zone *)
+type t = { n : int; m : bound array }
+
+let dim t = t.n
+let size n = (n + 1) * (n + 1)
+let idx n i j = (i * (n + 1)) + j
+
+let get t i j =
+  if i < 0 || i > t.n || j < 0 || j > t.n then invalid_arg "Dbm.get";
+  t.m.(idx t.n i j)
+
+let is_empty t = t.m.(0) < le 0
+
+(* Floyd–Warshall canonicalisation; marks emptiness on the (0,0) cell *)
+let canonicalize { n; m } =
+  let m = Array.copy m in
+  for k = 0 to n do
+    for i = 0 to n do
+      let ik = m.(idx n i k) in
+      if ik <> inf then
+        for j = 0 to n do
+          let kj = m.(idx n k j) in
+          if kj <> inf then begin
+            let through = bound_add ik kj in
+            if through < m.(idx n i j) then m.(idx n i j) <- through
+          end
+        done
+    done
+  done;
+  (* negative cycle <-> some diagonal < (0, <=) *)
+  let empty = ref false in
+  for i = 0 to n do
+    if m.(idx n i i) < le 0 then empty := true else m.(idx n i i) <- le 0
+  done;
+  if !empty then m.(0) <- lt 0;
+  { n; m }
+
+let zero n =
+  if n < 0 then invalid_arg "Dbm.zero";
+  { n; m = Array.make (size n) (le 0) }
+
+let universe n =
+  if n < 0 then invalid_arg "Dbm.universe";
+  let m = Array.make (size n) inf in
+  for i = 0 to n do
+    m.(idx n i i) <- le 0;
+    (* clocks are non-negative: 0 - x_i <= 0 *)
+    m.(idx n 0 i) <- le 0
+  done;
+  m.(idx n 0 0) <- le 0;
+  { n; m }
+
+let up t =
+  if is_empty t then t
+  else begin
+    let m = Array.copy t.m in
+    for i = 1 to t.n do
+      m.(idx t.n i 0) <- inf
+    done;
+    (* canonical form is preserved by the up operation *)
+    { t with m }
+  end
+
+let reset t x v =
+  if x < 1 || x > t.n then invalid_arg "Dbm.reset: bad clock";
+  if v < 0 then invalid_arg "Dbm.reset: negative value";
+  if is_empty t then t
+  else begin
+    let n = t.n in
+    let m = Array.copy t.m in
+    for j = 0 to n do
+      if j <> x then begin
+        m.(idx n x j) <- bound_add (le v) t.m.(idx n 0 j);
+        m.(idx n j x) <- bound_add t.m.(idx n j 0) (le (-v))
+      end
+    done;
+    m.(idx n x x) <- le 0;
+    (* canonical form is preserved by resets on canonical input *)
+    { t with m }
+  end
+
+let constrain t i j b =
+  if i < 0 || i > t.n || j < 0 || j > t.n then invalid_arg "Dbm.constrain";
+  if is_empty t then t
+  else if b >= t.m.(idx t.n i j) then t
+  else begin
+    let m = Array.copy t.m in
+    m.(idx t.n i j) <- b;
+    canonicalize { t with m }
+  end
+
+let intersect a b =
+  if a.n <> b.n then invalid_arg "Dbm.intersect: dimension mismatch";
+  if is_empty a then a
+  else if is_empty b then b
+  else
+    canonicalize
+      { a with m = Array.init (size a.n) (fun k -> Int.min a.m.(k) b.m.(k)) }
+
+let includes a b =
+  if a.n <> b.n then invalid_arg "Dbm.includes: dimension mismatch";
+  if is_empty b then true
+  else if is_empty a then false
+  else
+    let ok = ref true in
+    for k = 0 to size a.n - 1 do
+      if b.m.(k) > a.m.(k) then ok := false
+    done;
+    !ok
+
+let extrapolate t maxima =
+  if Array.length maxima <> t.n + 1 then invalid_arg "Dbm.extrapolate";
+  if is_empty t then t
+  else begin
+    let n = t.n in
+    let m = Array.copy t.m in
+    let changed = ref false in
+    for i = 0 to n do
+      for j = 0 to n do
+        if i <> j then begin
+          let b = m.(idx n i j) in
+          if i > 0 && b <> inf && b > le maxima.(i) then begin
+            m.(idx n i j) <- inf;
+            changed := true
+          end
+          else if j > 0 && b <> inf && b < lt (-maxima.(j)) then begin
+            m.(idx n i j) <- lt (-maxima.(j));
+            changed := true
+          end
+        end
+      done
+    done;
+    if !changed then canonicalize { t with m } else t
+  end
+
+let equal a b = a.n = b.n && a.m = b.m
+let hash t = Hashtbl.hash t.m
+
+let contains_point t v =
+  if Array.length v <> t.n + 1 then invalid_arg "Dbm.contains_point";
+  if v.(0) <> 0 then invalid_arg "Dbm.contains_point: v.(0) must be 0";
+  if is_empty t then false
+  else begin
+    let ok = ref true in
+    for i = 0 to t.n do
+      for j = 0 to t.n do
+        let b = t.m.(idx t.n i j) in
+        if b <> inf then begin
+          let d = v.(i) - v.(j) in
+          let m = b asr 1 and weak = b land 1 = 1 in
+          if not (if weak then d <= m else d < m) then ok := false
+        end
+      done
+    done;
+    !ok
+  end
+
+let pp ppf t =
+  if is_empty t then Format.pp_print_string ppf "(empty)"
+  else begin
+    Format.fprintf ppf "@[<v>";
+    for i = 0 to t.n do
+      for j = 0 to t.n do
+        let b = t.m.(idx t.n i j) in
+        if b = inf then Format.fprintf ppf "   inf "
+        else Format.fprintf ppf "%4d%s " (b asr 1) (if b land 1 = 1 then "<=" else "< ")
+      done;
+      if i < t.n then Format.fprintf ppf "@,"
+    done;
+    Format.fprintf ppf "@]"
+  end

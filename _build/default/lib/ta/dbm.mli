@@ -1,0 +1,66 @@
+(** Difference bound matrices: the canonical symbolic representation of
+    clock zones in timed-automata model checking.
+
+    A DBM over [n] clocks is an [(n+1) x (n+1)] matrix of bounds; entry
+    [(i, j)] constrains [x_i - x_j] where clock index [0] is the
+    constant-zero reference clock.  Each bound is either infinity or a
+    pair of an integer and a strictness flag.  All operations keep the
+    matrix in canonical (all-pairs-shortest-path) form unless noted. *)
+
+type t
+(** A zone; immutable. *)
+
+type bound
+(** An encoded bound: [<= m], [< m], or infinity. *)
+
+val inf : bound
+val le : int -> bound
+val lt : int -> bound
+val bound_add : bound -> bound -> bound
+val bound_compare : bound -> bound -> int
+(** Total order: tighter bounds are smaller; [inf] is greatest. *)
+
+val dim : t -> int
+(** Number of real clocks (excluding the reference). *)
+
+val zero : int -> t
+(** [zero n]: the point zone where all [n] clocks equal 0. *)
+
+val universe : int -> t
+(** All clock valuations (non-negative clocks). *)
+
+val get : t -> int -> int -> bound
+(** Raw bound on [x_i - x_j]; indices in [0..n]. *)
+
+val is_empty : t -> bool
+
+val up : t -> t
+(** Delay: let time elapse (future closure). *)
+
+val reset : t -> int -> int -> t
+(** [reset z x v]: set clock [x] (>= 1) to the non-negative integer
+    value [v]. *)
+
+val constrain : t -> int -> int -> bound -> t
+(** [constrain z i j b]: intersect with [x_i - x_j (<|<=) m].  The
+    result is canonical (possibly empty). *)
+
+val intersect : t -> t -> t
+
+val includes : t -> t -> bool
+(** [includes a b]: does zone [a] contain zone [b]?  Empty zones are
+    contained in everything. *)
+
+val extrapolate : t -> int array -> t
+(** Classic maximal-constant extrapolation: [max.(i)] is the largest
+    constant clock [i] is ever compared against ([max.(0)] ignored).
+    Guarantees a finite zone graph. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val contains_point : t -> int array -> bool
+(** Does the zone contain the integer valuation [v] ([v.(0)] must be
+    0)?  For testing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type t = {
+  automata : Automaton.t array;
+  clock_count : int;
+  clock_names : string array;
+  channel_names : string array;
+  initial_store : Automaton.store;
+  clock_maxima : int array;
+}
+
+type state = { locs : int array; store : Automaton.store; zone : Dbm.t }
+
+let make ~automata ~clock_names ~channel_names ~initial_store ~clock_maxima =
+  let clock_count = Array.length clock_names in
+  if Array.length clock_maxima <> clock_count then
+    invalid_arg "Network.make: clock_maxima must cover every clock";
+  if Array.length automata = 0 then invalid_arg "Network.make: no automata";
+  {
+    automata;
+    clock_count;
+    clock_names = Array.append [| "0" |] clock_names;
+    channel_names;
+    initial_store;
+    clock_maxima = Array.append [| 0 |] clock_maxima;
+  }
+
+let is_committed t locs =
+  let any = ref false in
+  Array.iteri
+    (fun i loc ->
+      match t.automata.(i).Automaton.locations.(loc).Automaton.kind with
+      | Automaton.Committed -> any := true
+      | Automaton.Urgent | Automaton.Normal -> ())
+    locs;
+  !any
+
+let delay_forbidden t locs =
+  let any = ref false in
+  Array.iteri
+    (fun i loc ->
+      match t.automata.(i).Automaton.locations.(loc).Automaton.kind with
+      | Automaton.Committed | Automaton.Urgent -> any := true
+      | Automaton.Normal -> ())
+    locs;
+  !any
+
+let invariant_zone t locs store zone =
+  let z = ref zone in
+  Array.iteri
+    (fun i loc ->
+      z :=
+        Automaton.apply_guards !z store
+          t.automata.(i).Automaton.locations.(loc).Automaton.invariant)
+    locs;
+  !z
+
+let initial_state t =
+  let locs = Array.map (fun a -> a.Automaton.initial) t.automata in
+  let zone = Dbm.zero t.clock_count in
+  let zone = invariant_zone t locs t.initial_store zone in
+  let zone =
+    if delay_forbidden t locs then zone
+    else invariant_zone t locs t.initial_store (Dbm.up zone)
+  in
+  { locs; store = t.initial_store; zone = Dbm.extrapolate zone t.clock_maxima }

@@ -1,0 +1,44 @@
+(** Networks of timed automata with binary channel synchronisation and
+    a shared discrete store (the UPPAAL composition model used by the
+    paper). *)
+
+type t = {
+  automata : Automaton.t array;
+  clock_count : int;  (** real clocks, indexed 1..clock_count *)
+  clock_names : string array;  (** length clock_count + 1; index 0 = ref *)
+  channel_names : string array;
+  initial_store : Automaton.store;
+  clock_maxima : int array;
+      (** extrapolation constants, length clock_count + 1 *)
+}
+
+val make :
+  automata:Automaton.t array ->
+  clock_names:string array ->
+  channel_names:string array ->
+  initial_store:Automaton.store ->
+  clock_maxima:int array ->
+  t
+(** [clock_names] excludes the reference clock (it is added
+    internally); [clock_maxima] must cover every real clock (same
+    length as [clock_names]).
+    @raise Invalid_argument on inconsistent lengths. *)
+
+type state = {
+  locs : int array;  (** current location per automaton *)
+  store : Automaton.store;
+  zone : Dbm.t;
+}
+
+val initial_state : t -> state
+(** All automata in their initial locations, clocks at zero, delayed
+    and extrapolated. *)
+
+val is_committed : t -> int array -> bool
+(** Any automaton currently in a committed location? *)
+
+val delay_forbidden : t -> int array -> bool
+(** Committed or urgent location present. *)
+
+val invariant_zone : t -> int array -> Automaton.store -> Dbm.t -> Dbm.t
+(** Intersect a zone with all current location invariants. *)

@@ -1,0 +1,224 @@
+type target = locs:int array -> store:Automaton.store -> bool
+
+type stats = { states : int; transitions : int; elapsed : float }
+
+type trace_step = { automaton : string; state : Network.state }
+
+type result = {
+  reachable : Network.state option;
+  stats : stats;
+  trace : trace_step list;
+}
+
+let fire net (state : Network.state) label edges =
+  (* [edges] pairs each fired edge with its automaton index; for a
+     binary synchronisation the sender comes first *)
+  let zone =
+    List.fold_left
+      (fun z (_, e) -> Automaton.apply_guards z state.Network.store e.Automaton.guards)
+      state.Network.zone edges
+  in
+  if Dbm.is_empty zone then None
+  else if
+    not
+      (List.for_all
+         (fun (_, e) -> e.Automaton.data_guard state.Network.store)
+         edges)
+  then None
+  else begin
+    let locs = Array.copy state.Network.locs in
+    List.iter (fun (ai, e) -> locs.(ai) <- e.Automaton.dst) edges;
+    let store =
+      List.fold_left (fun s (_, e) -> e.Automaton.update s) state.Network.store
+        edges
+    in
+    let zone =
+      (* resets are computed from the pre-transition store *)
+      List.fold_left
+        (fun z (_, e) ->
+          List.fold_left
+            (fun z (c, v) -> Dbm.reset z c v)
+            z
+            (e.Automaton.resets state.Network.store))
+        zone edges
+    in
+    let zone = Network.invariant_zone net locs store zone in
+    if Dbm.is_empty zone then None
+    else begin
+      let zone =
+        if Network.delay_forbidden net locs then zone
+        else Network.invariant_zone net locs store (Dbm.up zone)
+      in
+      let zone = Dbm.extrapolate zone net.Network.clock_maxima in
+      if Dbm.is_empty zone then None
+      else Some (label, { Network.locs; store; zone })
+    end
+  end
+
+let successors net (state : Network.state) =
+  let committed_present = Network.is_committed net state.Network.locs in
+  let automata = net.Network.automata in
+  let n = Array.length automata in
+  let loc_committed ai =
+    match
+      automata.(ai).Automaton.locations.(state.Network.locs.(ai)).Automaton.kind
+    with
+    | Automaton.Committed -> true
+    | Automaton.Urgent | Automaton.Normal -> false
+  in
+  let current_edges ai =
+    List.filter
+      (fun e -> e.Automaton.src = state.Network.locs.(ai))
+      automata.(ai).Automaton.edges
+  in
+  let results = ref [] in
+  (* internal transitions *)
+  for ai = 0 to n - 1 do
+    if (not committed_present) || loc_committed ai then
+      List.iter
+        (fun e ->
+          match e.Automaton.sync with
+          | Some _ -> ()
+          | None ->
+            let label =
+              Printf.sprintf "%s: %s -> %s" automata.(ai).Automaton.name
+                automata.(ai).Automaton.locations.(e.Automaton.src).Automaton.loc_name
+                automata.(ai).Automaton.locations.(e.Automaton.dst).Automaton.loc_name
+            in
+            (match fire net state label [ (ai, e) ] with
+             | Some succ -> results := succ :: !results
+             | None -> ()))
+        (current_edges ai)
+  done;
+  (* binary synchronisations *)
+  for sender = 0 to n - 1 do
+    List.iter
+      (fun se ->
+        match se.Automaton.sync with
+        | Some (Automaton.Send c) ->
+          for receiver = 0 to n - 1 do
+            if receiver <> sender then
+              List.iter
+                (fun re ->
+                  match re.Automaton.sync with
+                  | Some (Automaton.Recv c') when c' = c ->
+                    if
+                      (not committed_present)
+                      || loc_committed sender || loc_committed receiver
+                    then begin
+                      let chan =
+                        if c < Array.length net.Network.channel_names then
+                          net.Network.channel_names.(c)
+                        else string_of_int c
+                      in
+                      let label =
+                        Printf.sprintf "%s!%s %s?%s"
+                          automata.(sender).Automaton.name chan
+                          automata.(receiver).Automaton.name chan
+                      in
+                      match fire net state label [ (sender, se); (receiver, re) ] with
+                      | Some succ -> results := succ :: !results
+                      | None -> ()
+                    end
+                  | Some (Automaton.Recv _ | Automaton.Send _) | None -> ())
+                (current_edges receiver)
+          done
+        | Some (Automaton.Recv _) | None -> ())
+      (current_edges sender)
+  done;
+  List.rev !results
+
+(* The default polymorphic hash only inspects ~10 nodes, which makes
+   symbolic states (similar location vectors, similar store prefixes)
+   collide massively; hash deeply instead. *)
+module Deep_tbl = Hashtbl.Make (struct
+  type t = Obj.t
+
+  let equal = ( = )
+  let hash k = Hashtbl.hash_param 1000 1000 k
+end)
+
+let deep_mem tbl k = Deep_tbl.mem tbl (Obj.repr k)
+let deep_add tbl k v = Deep_tbl.replace tbl (Obj.repr k) v
+let deep_find_opt tbl k = Deep_tbl.find_opt tbl (Obj.repr k)
+
+let run ?(max_states = 2_000_000) ?(inclusion = true) net target =
+  if max_states <= 0 then invalid_arg "Reach.run: max_states";
+  let t0 = Unix.gettimeofday () in
+  let initial = Network.initial_state net in
+  (* exact-match fast path: most revisits are zone-identical, so check
+     a flat hash of (locs, store, zone) before scanning the antichain *)
+  let exact : unit Deep_tbl.t = Deep_tbl.create 4096 in
+  (* passed list: (locs, store) -> zones antichain *)
+  let passed : Dbm.t list Deep_tbl.t = Deep_tbl.create 4096 in
+  let parents : (Network.state * string) Deep_tbl.t = Deep_tbl.create 4096 in
+  let covered (locs, store) zone =
+    deep_mem exact (locs, store, zone)
+    || inclusion
+       &&
+       match deep_find_opt passed (locs, store) with
+       | None -> false
+       | Some zones -> List.exists (fun z -> Dbm.includes z zone) zones
+  in
+  let remember (locs, store) zone =
+    deep_add exact (locs, store, zone) ();
+    if inclusion then begin
+      let key = (locs, store) in
+      let zones = Option.value ~default:[] (deep_find_opt passed key) in
+      deep_add passed key
+        (zone :: List.filter (fun z -> not (Dbm.includes zone z)) zones)
+    end
+  in
+  let states = ref 0 and transitions = ref 0 in
+  let queue = Queue.create () in
+  let found = ref None in
+  let trace_of st =
+    let rec walk st acc =
+      match deep_find_opt parents st with
+      | None -> acc
+      | Some (parent, label) -> walk parent ({ automaton = label; state = st } :: acc)
+    in
+    walk st []
+  in
+  let key_of (st : Network.state) = (st.Network.locs, st.Network.store) in
+  remember (key_of initial) initial.Network.zone;
+  incr states;
+  Queue.add initial queue;
+  if target ~locs:initial.Network.locs ~store:initial.Network.store then
+    found := Some initial;
+  (try
+     while (not (Queue.is_empty queue)) && !found = None do
+       let st = Queue.pop queue in
+       List.iter
+         (fun (label, succ) ->
+           incr transitions;
+           let key = key_of succ in
+           if not (covered key succ.Network.zone) then begin
+             remember key succ.Network.zone;
+             incr states;
+             deep_add parents succ (st, label);
+             if target ~locs:succ.Network.locs ~store:succ.Network.store then begin
+               found := Some succ;
+               raise Exit
+             end;
+             if !states >= max_states then raise Exit;
+             Queue.add succ queue
+           end)
+         (successors net st)
+     done
+   with Exit -> ());
+  {
+    reachable = !found;
+    stats =
+      {
+        states = !states;
+        transitions = !transitions;
+        elapsed = Unix.gettimeofday () -. t0;
+      };
+    trace = (match !found with Some st -> trace_of st | None -> []);
+  }
+
+let reachable ?max_states ?inclusion net target =
+  match (run ?max_states ?inclusion net target).reachable with
+  | Some _ -> true
+  | None -> false

@@ -1,0 +1,40 @@
+(** Zone-graph reachability for networks of timed automata: the engine
+    behind the paper's UPPAAL queries.
+
+    The explorer maintains a passed/waiting structure keyed by
+    (locations, store), with zone inclusion checking (a new symbolic
+    state covered by an already-passed zone is pruned) and classic
+    maximal-constant extrapolation, which together guarantee
+    termination and exactness for location/store reachability. *)
+
+type target = locs:int array -> store:Automaton.store -> bool
+
+type stats = {
+  states : int;  (** symbolic states expanded *)
+  transitions : int;  (** discrete successors computed *)
+  elapsed : float;
+}
+
+type trace_step = {
+  automaton : string;  (** "A -> B" description of the fired edge(s) *)
+  state : Network.state;
+}
+
+type result = { reachable : Network.state option; stats : stats; trace : trace_step list }
+
+val successors : Network.t -> Network.state -> (string * Network.state) list
+(** All discrete successors (with delay closure applied), labelled for
+    trace reporting.  Respects committed-location priority and binary
+    synchronisation. *)
+
+val run : ?max_states:int -> ?inclusion:bool -> Network.t -> target -> result
+(** Breadth-first search until the target is hit or the space is
+    exhausted.  [reachable = None] means the target is unreachable (or,
+    if [max_states] was exceeded, undetermined — see [stats.states]).
+    [inclusion] (default [true]) enables zone-inclusion pruning on top
+    of exact-match deduplication; with it off the search visits more
+    symbolic states but each visit costs O(1) lookups — a better
+    trade-off for tick-driven models whose zones are point-like.
+    @raise Invalid_argument when [max_states <= 0]. *)
+
+val reachable : ?max_states:int -> ?inclusion:bool -> Network.t -> target -> bool

@@ -1,0 +1,1 @@
+test/test_casestudy.ml: Alcotest Array Casestudy Control Core Int Linalg List Printf String

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Casestudy Complex Control Core Float Linalg List Printf QCheck2 QCheck_alcotest String

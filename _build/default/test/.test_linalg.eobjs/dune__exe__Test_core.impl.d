@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Control Core Filename Float Lazy Linalg List Printf QCheck2 QCheck_alcotest Result Sched String Sys Unix

@@ -1,0 +1,1 @@
+test/test_cosim.ml: Alcotest Array Control Core Cosim Filename Flexray Float Linalg List Printf Result String Sys

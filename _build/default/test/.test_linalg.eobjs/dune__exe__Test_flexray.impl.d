@@ -1,0 +1,1 @@
+test/test_flexray.ml: Alcotest Flexray List QCheck2 QCheck_alcotest

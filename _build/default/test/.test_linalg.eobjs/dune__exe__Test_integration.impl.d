@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Casestudy Core Cosim Lazy List Printf Sched String

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Complex Float Linalg List QCheck2 QCheck_alcotest

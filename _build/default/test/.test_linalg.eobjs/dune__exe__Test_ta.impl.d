@@ -1,0 +1,1 @@
+test/test_ta.ml: Alcotest Array List QCheck2 QCheck_alcotest String Ta

@@ -1,0 +1,382 @@
+(* Unit and property tests for the linalg substrate. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_basic () =
+  let v = Linalg.Vec.of_list [ 1.; 2.; 3. ] in
+  check_int "dim" 3 (Linalg.Vec.dim v);
+  check_float "dot" 14. (Linalg.Vec.dot v v);
+  check_float "norm2" (sqrt 14.) (Linalg.Vec.norm2 v);
+  check_float "norm_inf" 3. (Linalg.Vec.norm_inf v);
+  let w = Linalg.Vec.add v (Linalg.Vec.scale 2. v) in
+  check_bool "add/scale" true
+    (Linalg.Vec.approx_equal w (Linalg.Vec.of_list [ 3.; 6.; 9. ]))
+
+let test_vec_basis () =
+  let e1 = Linalg.Vec.basis 4 1 in
+  check_float "basis entry" 1. e1.(1);
+  check_float "basis other" 0. e1.(0);
+  Alcotest.check_raises "basis range" (Invalid_argument "Vec.basis: index out of range")
+    (fun () -> ignore (Linalg.Vec.basis 3 3))
+
+let test_vec_axpy_slice () =
+  let x = Linalg.Vec.of_list [ 1.; 1. ] and y = Linalg.Vec.of_list [ 0.; 2. ] in
+  check_bool "axpy" true
+    (Linalg.Vec.approx_equal (Linalg.Vec.axpy 3. x y) (Linalg.Vec.of_list [ 3.; 5. ]));
+  let v = Linalg.Vec.of_list [ 0.; 1.; 2.; 3. ] in
+  check_bool "slice" true
+    (Linalg.Vec.approx_equal
+       (Linalg.Vec.sub_vec v ~pos:1 ~len:2)
+       (Linalg.Vec.of_list [ 1.; 2. ]));
+  check_bool "concat" true
+    (Linalg.Vec.approx_equal
+       (Linalg.Vec.concat [| 1. |] [| 2. |])
+       (Linalg.Vec.of_list [ 1.; 2. ]))
+
+let test_vec_mismatch () =
+  Alcotest.check_raises "dot mismatch"
+    (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Linalg.Vec.dot [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Mat *)
+
+let m22 a b c d = Linalg.Mat.of_rows [ [ a; b ]; [ c; d ] ]
+
+let test_mat_mul () =
+  let a = m22 1. 2. 3. 4. and b = m22 5. 6. 7. 8. in
+  let c = Linalg.Mat.mul a b in
+  check_bool "mul" true (Linalg.Mat.approx_equal c (m22 19. 22. 43. 50.));
+  let v = Linalg.Mat.mul_vec a [| 1.; 1. |] in
+  check_bool "mul_vec" true (Linalg.Vec.approx_equal v [| 3.; 7. |])
+
+let test_mat_identity_pow () =
+  let a = m22 1. 1. 0. 1. in
+  let a5 = Linalg.Mat.pow a 5 in
+  check_float "pow shear" 5. (Linalg.Mat.get a5 0 1);
+  check_bool "pow zero" true
+    (Linalg.Mat.approx_equal (Linalg.Mat.pow a 0) (Linalg.Mat.identity 2))
+
+let test_mat_stack_block () =
+  let a = m22 1. 2. 3. 4. in
+  let h = Linalg.Mat.hstack a a in
+  check_int "hstack cols" 4 (Linalg.Mat.cols h);
+  let v = Linalg.Mat.vstack a a in
+  check_int "vstack rows" 4 (Linalg.Mat.rows v);
+  let blk = Linalg.Mat.block [ [ a; a ]; [ a; a ] ] in
+  check_int "block rows" 4 (Linalg.Mat.rows blk);
+  check_float "block entry" 4. (Linalg.Mat.get blk 3 3)
+
+let test_mat_kron () =
+  let a = m22 1. 2. 3. 4. and i = Linalg.Mat.identity 2 in
+  let k = Linalg.Mat.kron a i in
+  check_int "kron size" 4 (Linalg.Mat.rows k);
+  check_float "kron (0,0)" 1. (Linalg.Mat.get k 0 0);
+  check_float "kron (0,2)" 2. (Linalg.Mat.get k 0 2);
+  check_float "kron (1,3)" 2. (Linalg.Mat.get k 1 3)
+
+let test_mat_trace_norms () =
+  let a = m22 1. (-2.) 3. 4. in
+  check_float "trace" 5. (Linalg.Mat.trace a);
+  check_float "norm_inf" 7. (Linalg.Mat.norm_inf a);
+  check_float "norm_fro" (sqrt 30.) (Linalg.Mat.norm_fro a)
+
+(* ------------------------------------------------------------------ *)
+(* Lu *)
+
+let test_lu_solve () =
+  let a = Linalg.Mat.of_rows [ [ 2.; 1.; 1. ]; [ 1.; 3.; 2. ]; [ 1.; 0.; 0. ] ] in
+  let b = [| 4.; 5.; 6. |] in
+  let x = Linalg.Lu.solve a b in
+  let r = Linalg.Vec.sub (Linalg.Mat.mul_vec a x) b in
+  check_float "residual" 0. (Linalg.Vec.norm_inf r)
+
+let test_lu_det_inverse () =
+  let a = m22 4. 7. 2. 6. in
+  check_float "det" 10. (Linalg.Lu.det a);
+  let inv = Linalg.Lu.inverse a in
+  check_bool "inverse" true
+    (Linalg.Mat.approx_equal (Linalg.Mat.mul a inv) (Linalg.Mat.identity 2))
+
+let test_lu_singular () =
+  let a = m22 1. 2. 2. 4. in
+  check_float "det singular" 0. (Linalg.Lu.det a);
+  Alcotest.check_raises "solve singular" Linalg.Lu.Singular (fun () ->
+      ignore (Linalg.Lu.solve a [| 1.; 1. |]))
+
+let test_lu_rank () =
+  check_int "full rank" 2 (Linalg.Lu.rank (m22 1. 2. 3. 4.));
+  check_int "rank 1" 1 (Linalg.Lu.rank (m22 1. 2. 2. 4.));
+  let rect = Linalg.Mat.of_rows [ [ 1.; 0.; 1. ]; [ 0.; 1.; 1. ] ] in
+  check_int "rect rank" 2 (Linalg.Lu.rank rect)
+
+(* ------------------------------------------------------------------ *)
+(* Poly *)
+
+let test_poly_eval () =
+  let p = Linalg.Poly.of_coeffs [ 1.; -3.; 2. ] in
+  (* 2x^2 - 3x + 1; roots 1 and 1/2 *)
+  check_float "eval 1" 0. (Linalg.Poly.eval p 1.);
+  check_float "eval 0.5" 0. (Linalg.Poly.eval p 0.5);
+  check_float "eval 2" 3. (Linalg.Poly.eval p 2.)
+
+let test_poly_roots_mul () =
+  let p = Linalg.Poly.from_roots [ 1.; 2.; 3. ] in
+  check_int "degree" 3 (Linalg.Poly.degree p);
+  check_float "root" 0. (Linalg.Poly.eval p 2.);
+  let q = Linalg.Poly.mul p (Linalg.Poly.of_coeffs [ 0.; 1. ]) in
+  check_int "mul degree" 4 (Linalg.Poly.degree q);
+  check_float "mul root 0" 0. (Linalg.Poly.eval q 0.)
+
+let test_poly_conjugates () =
+  (* roots 1±2i -> x^2 - 2x + 5 *)
+  let p = Linalg.Poly.from_conjugate_pairs [ (1., 2.) ] in
+  check_bool "quad" true
+    (Linalg.Poly.approx_equal p (Linalg.Poly.of_coeffs [ 5.; -2.; 1. ]));
+  let lin = Linalg.Poly.from_conjugate_pairs [ (3., 0.) ] in
+  check_int "real pair degree" 1 (Linalg.Poly.degree lin)
+
+let test_poly_derivative () =
+  let p = Linalg.Poly.of_coeffs [ 1.; 2.; 3. ] in
+  check_bool "derivative" true
+    (Linalg.Poly.approx_equal (Linalg.Poly.derivative p)
+       (Linalg.Poly.of_coeffs [ 2.; 6. ]))
+
+let test_poly_eval_mat () =
+  let a = m22 2. 0. 0. 3. in
+  (* p(x) = x^2 - 5x + 6 annihilates both eigenvalues 2, 3 *)
+  let p = Linalg.Poly.of_coeffs [ 6.; -5.; 1. ] in
+  let pa = Linalg.Poly.eval_mat p a in
+  check_float "annihilated" 0. (Linalg.Mat.norm_fro pa)
+
+(* ------------------------------------------------------------------ *)
+(* Eig *)
+
+let test_charpoly () =
+  let a = m22 2. 1. 0. 3. in
+  (* (x-2)(x-3) = x^2 -5x + 6 *)
+  check_bool "charpoly" true
+    (Linalg.Poly.approx_equal (Linalg.Eig.charpoly a)
+       (Linalg.Poly.of_coeffs [ 6.; -5.; 1. ]))
+
+let test_eigenvalues_real () =
+  let a = m22 2. 1. 0. 3. in
+  match Linalg.Eig.eigenvalues a with
+  | [ z1; z2 ] ->
+    check_float_loose "largest" 3. z1.Complex.re;
+    check_float_loose "smallest" 2. z2.Complex.re;
+    check_float "imag 1" 0. z1.Complex.im;
+    check_float "imag 2" 0. z2.Complex.im
+  | _ -> Alcotest.fail "expected 2 eigenvalues"
+
+let test_eigenvalues_complex () =
+  (* rotation-like matrix, eigenvalues cos t ± i sin t with |z| = r *)
+  let r = 0.9 and t = 0.7 in
+  let a = m22 (r *. cos t) (-.r *. sin t) (r *. sin t) (r *. cos t) in
+  match Linalg.Eig.eigenvalues a with
+  | [ z1; z2 ] ->
+    check_float_loose "modulus 1" r (Complex.norm z1);
+    check_float_loose "modulus 2" r (Complex.norm z2);
+    check_float_loose "conjugate" 0. (z1.Complex.im +. z2.Complex.im)
+  | _ -> Alcotest.fail "expected 2 eigenvalues"
+
+let test_spectral_radius_stability () =
+  let stable = m22 0.5 0.2 0. 0.3 in
+  check_bool "stable" true (Linalg.Eig.is_schur_stable stable);
+  let unstable = m22 1.1 0. 0. 0.2 in
+  check_bool "unstable" false (Linalg.Eig.is_schur_stable unstable);
+  check_float_loose "radius" 1.1 (Linalg.Eig.spectral_radius unstable)
+
+let test_sym_eigenvalues () =
+  let a = m22 2. 1. 1. 2. in
+  let e = Linalg.Eig.sym_eigenvalues a in
+  check_float_loose "min" 1. e.(0);
+  check_float_loose "max" 3. e.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Lyapunov *)
+
+let test_cholesky () =
+  let a = m22 4. 2. 2. 3. in
+  (match Linalg.Lyapunov.cholesky a with
+   | None -> Alcotest.fail "expected PD"
+   | Some l ->
+     check_bool "l lT = a" true
+       (Linalg.Mat.approx_equal (Linalg.Mat.mul l (Linalg.Mat.transpose l)) a));
+  check_bool "not PD" true (Linalg.Lyapunov.cholesky (m22 1. 2. 2. 1.) = None)
+
+let test_definiteness () =
+  check_bool "pd" true (Linalg.Lyapunov.is_positive_definite (m22 2. 0. 0. 2.));
+  check_bool "nd" true (Linalg.Lyapunov.is_negative_definite (m22 (-2.) 0. 0. (-2.)));
+  check_bool "indef" false (Linalg.Lyapunov.is_positive_definite (m22 1. 0. 0. (-1.)))
+
+let test_solve_discrete () =
+  let a = m22 0.5 0.1 0. 0.4 in
+  let q = Linalg.Mat.identity 2 in
+  let p = Linalg.Lyapunov.solve_discrete a q in
+  check_float "residual" 0. (Linalg.Lyapunov.residual a q p);
+  check_bool "pd solution" true (Linalg.Lyapunov.is_positive_definite p)
+
+let test_common_lyapunov_exists () =
+  (* two commuting stable diagonal matrices always share a certificate *)
+  let a1 = m22 0.5 0. 0. 0.3 and a2 = m22 0.2 0. 0. 0.6 in
+  match Linalg.Lyapunov.common_lyapunov a1 a2 with
+  | None -> Alcotest.fail "expected common certificate"
+  | Some p -> check_bool "pd" true (Linalg.Lyapunov.is_positive_definite p)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let small_float = QCheck2.Gen.float_range (-5.) 5.
+
+let gen_mat n =
+  QCheck2.Gen.(
+    array_size (return (n * n)) small_float
+    |> map (fun a -> Linalg.Mat.of_array ~rows:n ~cols:n a))
+
+let gen_stable_mat n =
+  (* scale a random matrix below unit spectral radius via its inf norm *)
+  QCheck2.Gen.map
+    (fun m ->
+      let s = Linalg.Mat.norm_inf m in
+      if s = 0. then m else Linalg.Mat.scale (0.8 /. s) m)
+    (gen_mat n)
+
+let prop_mul_assoc =
+  QCheck2.Test.make ~name:"mat mul associative" ~count:100
+    QCheck2.Gen.(triple (gen_mat 3) (gen_mat 3) (gen_mat 3))
+    (fun (a, b, c) ->
+      Linalg.Mat.approx_equal ~tol:1e-6
+        (Linalg.Mat.mul (Linalg.Mat.mul a b) c)
+        (Linalg.Mat.mul a (Linalg.Mat.mul b c)))
+
+let prop_transpose_involution =
+  QCheck2.Test.make ~name:"transpose involutive" ~count:100 (gen_mat 4)
+    (fun a -> Linalg.Mat.approx_equal (Linalg.Mat.transpose (Linalg.Mat.transpose a)) a)
+
+let prop_lu_roundtrip =
+  QCheck2.Test.make ~name:"lu solve roundtrip" ~count:100
+    QCheck2.Gen.(pair (gen_mat 3) (array_size (return 3) small_float))
+    (fun (a, b) ->
+      match Linalg.Lu.solve a b with
+      | exception Linalg.Lu.Singular -> true
+      | x ->
+        let scale = Float.max 1. (Linalg.Mat.norm_inf a *. Linalg.Vec.norm_inf x) in
+        Linalg.Vec.norm_inf (Linalg.Vec.sub (Linalg.Mat.mul_vec a x) b)
+        <= 1e-6 *. scale)
+
+let prop_det_transpose =
+  QCheck2.Test.make ~name:"det of transpose" ~count:100 (gen_mat 3) (fun a ->
+      let d1 = Linalg.Lu.det a and d2 = Linalg.Lu.det (Linalg.Mat.transpose a) in
+      Float.abs (d1 -. d2) <= 1e-6 *. Float.max 1. (Float.abs d1))
+
+let prop_charpoly_cayley_hamilton =
+  QCheck2.Test.make ~name:"Cayley-Hamilton" ~count:60 (gen_mat 3) (fun a ->
+      let p = Linalg.Eig.charpoly a in
+      let norm = Float.max 1. (Linalg.Mat.norm_inf a) in
+      Linalg.Mat.norm_fro (Linalg.Poly.eval_mat p a)
+      <= 1e-5 *. (norm ** 3.))
+
+let prop_eigs_match_det_trace =
+  QCheck2.Test.make ~name:"eig product=det, sum=trace" ~count:60 (gen_mat 3)
+    (fun a ->
+      let eigs = Linalg.Eig.eigenvalues a in
+      let prod = List.fold_left Complex.mul Complex.one eigs in
+      let sum = List.fold_left Complex.add Complex.zero eigs in
+      let scale = Float.max 1. (Linalg.Mat.norm_inf a ** 3.) in
+      Float.abs (prod.re -. Linalg.Lu.det a) <= 1e-4 *. scale
+      && Float.abs (sum.re -. Linalg.Mat.trace a) <= 1e-4 *. scale
+      && Float.abs prod.im <= 1e-4 *. scale)
+
+let prop_lyapunov_certifies_stability =
+  QCheck2.Test.make ~name:"Stein solution certifies Schur stability"
+    ~count:60 (gen_stable_mat 3) (fun a ->
+      (* inf-norm < 1 implies Schur stable, so the Stein equation with
+         Q = I must have a PD solution *)
+      match Linalg.Lyapunov.solve_discrete a (Linalg.Mat.identity 3) with
+      | exception Linalg.Lu.Singular -> true
+      | p ->
+        Linalg.Lyapunov.is_positive_definite p
+        && Linalg.Lyapunov.residual a (Linalg.Mat.identity 3) p <= 1e-7)
+
+let prop_poly_mul_eval_homomorphism =
+  QCheck2.Test.make ~name:"poly eval is a ring homomorphism" ~count:100
+    QCheck2.Gen.(
+      triple
+        (array_size (int_range 1 5) small_float)
+        (array_size (int_range 1 5) small_float)
+        small_float)
+    (fun (p, q, x) ->
+      let lhs = Linalg.Poly.eval (Linalg.Poly.mul p q) x in
+      let rhs = Linalg.Poly.eval p x *. Linalg.Poly.eval q x in
+      Float.abs (lhs -. rhs) <= 1e-6 *. Float.max 1. (Float.abs rhs))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_mul_assoc;
+      prop_transpose_involution;
+      prop_lu_roundtrip;
+      prop_det_transpose;
+      prop_charpoly_cayley_hamilton;
+      prop_eigs_match_det_trace;
+      prop_lyapunov_certifies_stability;
+      prop_poly_mul_eval_homomorphism;
+    ]
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic ops" `Quick test_vec_basic;
+          Alcotest.test_case "basis" `Quick test_vec_basis;
+          Alcotest.test_case "axpy/slice/concat" `Quick test_vec_axpy_slice;
+          Alcotest.test_case "dimension mismatch" `Quick test_vec_mismatch;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "multiplication" `Quick test_mat_mul;
+          Alcotest.test_case "identity and pow" `Quick test_mat_identity_pow;
+          Alcotest.test_case "stack and block" `Quick test_mat_stack_block;
+          Alcotest.test_case "kronecker" `Quick test_mat_kron;
+          Alcotest.test_case "trace and norms" `Quick test_mat_trace_norms;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve" `Quick test_lu_solve;
+          Alcotest.test_case "det and inverse" `Quick test_lu_det_inverse;
+          Alcotest.test_case "singular" `Quick test_lu_singular;
+          Alcotest.test_case "rank" `Quick test_lu_rank;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "eval" `Quick test_poly_eval;
+          Alcotest.test_case "roots and mul" `Quick test_poly_roots_mul;
+          Alcotest.test_case "conjugate pairs" `Quick test_poly_conjugates;
+          Alcotest.test_case "derivative" `Quick test_poly_derivative;
+          Alcotest.test_case "matrix eval" `Quick test_poly_eval_mat;
+        ] );
+      ( "eig",
+        [
+          Alcotest.test_case "charpoly" `Quick test_charpoly;
+          Alcotest.test_case "real eigenvalues" `Quick test_eigenvalues_real;
+          Alcotest.test_case "complex eigenvalues" `Quick test_eigenvalues_complex;
+          Alcotest.test_case "spectral radius" `Quick test_spectral_radius_stability;
+          Alcotest.test_case "symmetric eigenvalues" `Quick test_sym_eigenvalues;
+        ] );
+      ( "lyapunov",
+        [
+          Alcotest.test_case "cholesky" `Quick test_cholesky;
+          Alcotest.test_case "definiteness" `Quick test_definiteness;
+          Alcotest.test_case "stein equation" `Quick test_solve_discrete;
+          Alcotest.test_case "common certificate" `Quick test_common_lyapunov_exists;
+        ] );
+      ("properties", props);
+    ]

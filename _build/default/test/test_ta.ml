@@ -1,0 +1,504 @@
+(* Tests for the timed-automata substrate: DBM operations and zone
+   semantics, automata construction, and zone-graph reachability on
+   small hand-built models. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Dbm *)
+
+let test_bounds () =
+  check_bool "lt < le" true (Ta.Dbm.bound_compare (Ta.Dbm.lt 3) (Ta.Dbm.le 3) < 0);
+  check_bool "le 3 < lt 4" true
+    (Ta.Dbm.bound_compare (Ta.Dbm.le 3) (Ta.Dbm.lt 4) < 0);
+  check_bool "inf greatest" true
+    (Ta.Dbm.bound_compare (Ta.Dbm.le 1_000_000) Ta.Dbm.inf < 0);
+  check_bool "add strictness" true
+    (Ta.Dbm.bound_add (Ta.Dbm.lt 2) (Ta.Dbm.le 3) = Ta.Dbm.lt 5);
+  check_bool "add weak" true
+    (Ta.Dbm.bound_add (Ta.Dbm.le 2) (Ta.Dbm.le 3) = Ta.Dbm.le 5);
+  check_bool "add inf" true (Ta.Dbm.bound_add Ta.Dbm.inf (Ta.Dbm.le 1) = Ta.Dbm.inf)
+
+let test_zero_zone () =
+  let z = Ta.Dbm.zero 2 in
+  check_bool "not empty" false (Ta.Dbm.is_empty z);
+  check_bool "contains origin" true (Ta.Dbm.contains_point z [| 0; 0; 0 |]);
+  check_bool "excludes others" false (Ta.Dbm.contains_point z [| 0; 1; 0 |])
+
+let test_up_and_constrain () =
+  let z = Ta.Dbm.up (Ta.Dbm.zero 2) in
+  (* after delay both clocks advance together *)
+  check_bool "diagonal point" true (Ta.Dbm.contains_point z [| 0; 5; 5 |]);
+  check_bool "not off-diagonal" false (Ta.Dbm.contains_point z [| 0; 5; 3 |]);
+  let z = Ta.Dbm.constrain z 1 0 (Ta.Dbm.le 3) in
+  check_bool "bounded" true (Ta.Dbm.contains_point z [| 0; 3; 3 |]);
+  check_bool "beyond bound" false (Ta.Dbm.contains_point z [| 0; 4; 4 |])
+
+let test_reset () =
+  let z = Ta.Dbm.up (Ta.Dbm.zero 2) in
+  let z = Ta.Dbm.constrain z 1 0 (Ta.Dbm.le 5) in
+  let z = Ta.Dbm.reset z 2 0 in
+  (* clock 2 is 0, clock 1 keeps its value *)
+  check_bool "reset point" true (Ta.Dbm.contains_point z [| 0; 4; 0 |]);
+  check_bool "old diagonal gone" false (Ta.Dbm.contains_point z [| 0; 4; 4 |])
+
+let test_empty_intersection () =
+  let z = Ta.Dbm.zero 1 in
+  let z = Ta.Dbm.constrain z 1 0 (Ta.Dbm.le 2) in
+  let z = Ta.Dbm.constrain z 0 1 (Ta.Dbm.le (-3)) in
+  (* x <= 2 and x >= 3 *)
+  check_bool "empty" true (Ta.Dbm.is_empty z)
+
+let test_includes () =
+  let small = Ta.Dbm.constrain (Ta.Dbm.up (Ta.Dbm.zero 1)) 1 0 (Ta.Dbm.le 2) in
+  let big = Ta.Dbm.constrain (Ta.Dbm.up (Ta.Dbm.zero 1)) 1 0 (Ta.Dbm.le 5) in
+  check_bool "big contains small" true (Ta.Dbm.includes big small);
+  check_bool "small lacks big" false (Ta.Dbm.includes small big);
+  check_bool "self" true (Ta.Dbm.includes big big)
+
+let test_intersect () =
+  let a = Ta.Dbm.constrain (Ta.Dbm.up (Ta.Dbm.zero 1)) 1 0 (Ta.Dbm.le 5) in
+  let b =
+    Ta.Dbm.constrain (Ta.Dbm.up (Ta.Dbm.zero 1)) 0 1 (Ta.Dbm.le (-3))
+  in
+  let c = Ta.Dbm.intersect a b in
+  check_bool "3..5 contains 4" true (Ta.Dbm.contains_point c [| 0; 4 |]);
+  check_bool "excludes 2" false (Ta.Dbm.contains_point c [| 0; 2 |]);
+  check_bool "excludes 6" false (Ta.Dbm.contains_point c [| 0; 6 |])
+
+let test_extrapolation_idempotent () =
+  let z = Ta.Dbm.constrain (Ta.Dbm.up (Ta.Dbm.zero 2)) 1 0 (Ta.Dbm.le 100) in
+  let m = [| 0; 10; 10 |] in
+  let e1 = Ta.Dbm.extrapolate z m in
+  let e2 = Ta.Dbm.extrapolate e1 m in
+  check_bool "idempotent" true (Ta.Dbm.equal e1 e2);
+  check_bool "widens" true (Ta.Dbm.includes e1 z)
+
+let test_universe () =
+  let u = Ta.Dbm.universe 2 in
+  check_bool "contains anything" true (Ta.Dbm.contains_point u [| 0; 7; 3 |]);
+  check_bool "no negatives" true (Ta.Dbm.includes u (Ta.Dbm.zero 2))
+
+(* ------------------------------------------------------------------ *)
+(* Reachability on hand-built automata *)
+
+let simple_net () =
+  (* one automaton, one clock: A --(x>=2, reset x)--> B --(x>=3)--> C *)
+  let open Ta.Automaton in
+  let a =
+    make ~name:"M"
+      ~locations:[| location "A"; location "B"; location "C" |]
+      ~initial:0
+      ~edges:
+        [
+          edge ~src:0 ~dst:1 ~guards:[ guard_const 1 Ge 2 ] ~resets:[ (1, 0) ] ();
+          edge ~src:1 ~dst:2 ~guards:[ guard_const 1 Ge 3 ] ();
+        ]
+  in
+  Ta.Network.make ~automata:[| a |] ~clock_names:[| "x" |] ~channel_names:[||]
+    ~initial_store:[||] ~clock_maxima:[| 3 |]
+
+let test_reach_simple () =
+  let net = simple_net () in
+  let r = Ta.Reach.run net (fun ~locs ~store:_ -> locs.(0) = 2) in
+  check_bool "C reachable" true (r.Ta.Reach.reachable <> None);
+  check_int "trace length" 2 (List.length r.Ta.Reach.trace)
+
+let test_reach_invariant_blocks () =
+  (* invariant x <= 1 makes the x>=2 guard unreachable *)
+  let open Ta.Automaton in
+  let a =
+    make ~name:"M"
+      ~locations:
+        [| location ~invariant:[ guard_const 1 Le 1 ] "A"; location "B" |]
+      ~initial:0
+      ~edges:[ edge ~src:0 ~dst:1 ~guards:[ guard_const 1 Ge 2 ] () ]
+  in
+  let net =
+    Ta.Network.make ~automata:[| a |] ~clock_names:[| "x" |]
+      ~channel_names:[||] ~initial_store:[||] ~clock_maxima:[| 2 |]
+  in
+  check_bool "unreachable" false
+    (Ta.Reach.reachable net (fun ~locs ~store:_ -> locs.(0) = 1))
+
+let test_sync_handshake () =
+  (* sender fires c! when x == 2; receiver moves only on c? *)
+  let open Ta.Automaton in
+  let sender =
+    make ~name:"S"
+      ~locations:[| location ~invariant:[ guard_const 1 Le 2 ] "s0"; location "s1" |]
+      ~initial:0
+      ~edges:[ edge ~src:0 ~dst:1 ~guards:[ guard_const 1 Eq 2 ] ~sync:(Send 0) () ]
+  in
+  let receiver =
+    make ~name:"R"
+      ~locations:[| location "r0"; location "r1" |]
+      ~initial:0
+      ~edges:[ edge ~src:0 ~dst:1 ~sync:(Recv 0) () ]
+  in
+  let net =
+    Ta.Network.make ~automata:[| sender; receiver |] ~clock_names:[| "x" |]
+      ~channel_names:[| "c" |] ~initial_store:[||] ~clock_maxima:[| 2 |]
+  in
+  let r =
+    Ta.Reach.run net (fun ~locs ~store:_ -> locs.(0) = 1 && locs.(1) = 1)
+  in
+  check_bool "handshake fires" true (r.Ta.Reach.reachable <> None);
+  (* receiver can never move alone *)
+  check_bool "no lone receive" false
+    (Ta.Reach.reachable net (fun ~locs ~store:_ -> locs.(0) = 0 && locs.(1) = 1))
+
+let test_committed_priority () =
+  (* while automaton P sits in its committed location, Q must not move:
+     P marks the phase in store.(0) (1 = inside pc, 2 = done), and Q
+     snapshots that phase when it fires.  A snapshot of 1 would mean Q
+     moved under a committed P. *)
+  let open Ta.Automaton in
+  let p =
+    make ~name:"P"
+      ~locations:[| location "p0"; location ~kind:Committed "pc"; location "p2" |]
+      ~initial:0
+      ~edges:
+        [
+          edge ~src:0 ~dst:1
+            ~update:(fun s ->
+              let s = Array.copy s in
+              s.(0) <- 1;
+              s)
+            ();
+          edge ~src:1 ~dst:2
+            ~update:(fun s ->
+              let s = Array.copy s in
+              s.(0) <- 2;
+              s)
+            ();
+        ]
+  in
+  let q =
+    make ~name:"Q"
+      ~locations:[| location "q0"; location "q1" |]
+      ~initial:0
+      ~edges:
+        [
+          edge ~src:0 ~dst:1
+            ~update:(fun s ->
+              let s = Array.copy s in
+              s.(1) <- s.(0);
+              s)
+            ();
+        ]
+  in
+  let net =
+    Ta.Network.make ~automata:[| p; q |] ~clock_names:[||] ~channel_names:[||]
+      ~initial_store:[| 0; 0 |] ~clock_maxima:[||]
+  in
+  check_bool "no Q move under committed P" false
+    (Ta.Reach.reachable net (fun ~locs ~store -> locs.(1) = 1 && store.(1) = 1));
+  check_bool "Q can move before or after" true
+    (Ta.Reach.reachable net (fun ~locs ~store -> locs.(1) = 1 && store.(1) = 0)
+     && Ta.Reach.reachable net (fun ~locs ~store -> locs.(1) = 1 && store.(1) = 2))
+
+let test_urgent_blocks_delay () =
+  (* urgent location: the edge guard x >= 1 can never be satisfied if
+     we enter the location at x = 0, because no time may pass *)
+  let open Ta.Automaton in
+  let a =
+    make ~name:"U"
+      ~locations:
+        [| location "a0"; location ~kind:Urgent "a1"; location "a2" |]
+      ~initial:0
+      ~edges:
+        [
+          edge ~src:0 ~dst:1 ~guards:[ guard_const 1 Eq 0 ] ~resets:[ (1, 0) ] ();
+          edge ~src:1 ~dst:2 ~guards:[ guard_const 1 Ge 1 ] ();
+        ]
+  in
+  let net =
+    Ta.Network.make ~automata:[| a |] ~clock_names:[| "x" |] ~channel_names:[||]
+      ~initial_store:[||] ~clock_maxima:[| 1 |]
+  in
+  check_bool "a2 unreachable" false
+    (Ta.Reach.reachable net (fun ~locs ~store:_ -> locs.(0) = 2))
+
+let test_data_guard_and_update () =
+  let open Ta.Automaton in
+  let a =
+    make ~name:"D"
+      ~locations:[| location "d0"; location "d1" |]
+      ~initial:0
+      ~edges:
+        [
+          edge ~src:0 ~dst:0
+            ~data_guard:(fun s -> s.(0) < 3)
+            ~update:(fun s ->
+              let s = Array.copy s in
+              s.(0) <- s.(0) + 1;
+              s)
+            ();
+          edge ~src:0 ~dst:1 ~data_guard:(fun s -> s.(0) = 3) ();
+        ]
+  in
+  let net =
+    Ta.Network.make ~automata:[| a |] ~clock_names:[||] ~channel_names:[||]
+      ~initial_store:[| 0 |] ~clock_maxima:[||]
+  in
+  let r = Ta.Reach.run net (fun ~locs ~store -> locs.(0) = 1 && store.(0) = 3) in
+  check_bool "counts to three" true (r.Ta.Reach.reachable <> None);
+  check_bool "never beyond three" false
+    (Ta.Reach.reachable net (fun ~locs:_ ~store -> store.(0) > 3))
+
+let test_max_states_cap () =
+  (* unbounded counter: hits the cap and reports undecided-by-count *)
+  let open Ta.Automaton in
+  let a =
+    make ~name:"Inf"
+      ~locations:[| location "l" |]
+      ~initial:0
+      ~edges:
+        [
+          edge ~src:0 ~dst:0
+            ~update:(fun s ->
+              let s = Array.copy s in
+              s.(0) <- s.(0) + 1;
+              s)
+            ();
+        ]
+  in
+  let net =
+    Ta.Network.make ~automata:[| a |] ~clock_names:[||] ~channel_names:[||]
+      ~initial_store:[| 0 |] ~clock_maxima:[||]
+  in
+  let r = Ta.Reach.run ~max_states:100 net (fun ~locs:_ ~store:_ -> false) in
+  check_bool "capped" true (r.Ta.Reach.stats.Ta.Reach.states >= 100);
+  check_bool "not found" true (r.Ta.Reach.reachable = None)
+
+(* ------------------------------------------------------------------ *)
+(* Concrete execution *)
+
+let test_concrete_simple_run () =
+  let net = simple_net () in
+  let reached = ref (-1) in
+  let st =
+    Ta.Concrete.run net Ta.Concrete.first_enabled ~until:8 (fun st _ ->
+        if st.Ta.Concrete.locs.(0) = 2 && !reached < 0 then
+          reached := st.Ta.Concrete.time)
+  in
+  check_int "final loc" 2 st.Ta.Concrete.locs.(0);
+  (* x >= 2 fires at time 2, reset, then x >= 3 fires at time 5 *)
+  check_int "C reached at 5" 5 !reached
+
+let test_concrete_invariant_forces_action () =
+  (* invariant x <= 1 with an edge at x == 1: a refusing policy must
+     get Stuck, first_enabled must proceed *)
+  let open Ta.Automaton in
+  let a =
+    make ~name:"T"
+      ~locations:[| location ~invariant:[ guard_const 1 Le 1 ] "a"; location "b" |]
+      ~initial:0
+      ~edges:[ edge ~src:0 ~dst:1 ~guards:[ guard_const 1 Eq 1 ] () ]
+  in
+  let net =
+    Ta.Network.make ~automata:[| a |] ~clock_names:[| "x" |] ~channel_names:[||]
+      ~initial_store:[||] ~clock_maxima:[| 1 |]
+  in
+  let st = Ta.Concrete.run net Ta.Concrete.first_enabled ~until:2 (fun _ _ -> ()) in
+  check_int "moved" 1 st.Ta.Concrete.locs.(0);
+  check_bool "refusal sticks" true
+    (try
+       ignore (Ta.Concrete.run net (fun _ _ -> None) ~until:2 (fun _ _ -> ()));
+       false
+     with Ta.Concrete.Stuck _ -> true)
+
+let test_concrete_sync_and_store () =
+  let open Ta.Automaton in
+  let sender =
+    make ~name:"S"
+      ~locations:[| location ~invariant:[ guard_const 1 Le 2 ] "s0"; location "s1" |]
+      ~initial:0
+      ~edges:
+        [
+          edge ~src:0 ~dst:1 ~guards:[ guard_const 1 Eq 2 ] ~sync:(Send 0)
+            ~update:(fun s ->
+              let s = Array.copy s in
+              s.(0) <- 7;
+              s)
+            ();
+        ]
+  in
+  let receiver =
+    make ~name:"R"
+      ~locations:[| location "r0"; location "r1" |]
+      ~initial:0
+      ~edges:
+        [
+          edge ~src:0 ~dst:1 ~sync:(Recv 0)
+            ~update:(fun s ->
+              let s = Array.copy s in
+              (* receiver sees the sender's update (UPPAAL order) *)
+              s.(1) <- s.(0) + 1;
+              s)
+            ();
+        ]
+  in
+  let net =
+    Ta.Network.make ~automata:[| sender; receiver |] ~clock_names:[| "x" |]
+      ~channel_names:[| "c" |] ~initial_store:[| 0; 0 |] ~clock_maxima:[| 2 |]
+  in
+  let st = Ta.Concrete.run net Ta.Concrete.first_enabled ~until:3 (fun _ _ -> ()) in
+  check_int "sender wrote" 7 st.Ta.Concrete.store.(0);
+  check_int "receiver saw it" 8 st.Ta.Concrete.store.(1)
+
+let test_concrete_prefer_policy () =
+  let open Ta.Automaton in
+  let a =
+    make ~name:"P"
+      ~locations:[| location "a"; location "b"; location "c" |]
+      ~initial:0
+      ~edges:[ edge ~src:0 ~dst:1 (); edge ~src:0 ~dst:2 () ]
+  in
+  let net =
+    Ta.Network.make ~automata:[| a |] ~clock_names:[||] ~channel_names:[||]
+      ~initial_store:[||] ~clock_maxima:[||]
+  in
+  let state = Ta.Concrete.initial net in
+  let actions = Ta.Concrete.enabled net state in
+  check_int "two actions" 2 (List.length actions);
+  match Ta.Concrete.prefer (fun l -> String.length l > 0 && l.[String.length l - 1] = 'c') state actions with
+  | Some a -> check_bool "chose a -> c" true (String.length a.Ta.Concrete.label > 0)
+  | None -> Alcotest.fail "expected a choice"
+
+(* ------------------------------------------------------------------ *)
+(* DBM properties *)
+
+let gen_ops =
+  (* a random sequence of constrain/reset/up operations over 3 clocks *)
+  QCheck2.Gen.(
+    list_size (int_range 0 12)
+      (oneof
+         [
+           map2 (fun c v -> `Upper (c, v)) (int_range 1 3) (int_range 0 8);
+           map2 (fun c v -> `Lower (c, v)) (int_range 1 3) (int_range 0 8);
+           map2 (fun c v -> `Reset (c, v)) (int_range 1 3) (int_range 0 4);
+           return `Up;
+         ]))
+
+let apply_op z = function
+  | `Upper (c, v) -> Ta.Dbm.constrain z c 0 (Ta.Dbm.le v)
+  | `Lower (c, v) -> Ta.Dbm.constrain z 0 c (Ta.Dbm.le (-v))
+  | `Reset (c, v) -> if Ta.Dbm.is_empty z then z else Ta.Dbm.reset z c v
+  | `Up -> Ta.Dbm.up z
+
+let build_zone ops = List.fold_left apply_op (Ta.Dbm.zero 3) ops
+
+let sample_points =
+  (* a small grid of integer valuations *)
+  List.concat_map
+    (fun a ->
+      List.concat_map
+        (fun b -> List.map (fun c -> [| 0; a; b; c |]) [ 0; 1; 3; 7 ])
+        [ 0; 1; 3; 7 ])
+    [ 0; 1; 3; 7 ]
+
+let prop_intersect_is_conjunction =
+  QCheck2.Test.make ~name:"intersection = pointwise conjunction" ~count:80
+    QCheck2.Gen.(pair gen_ops gen_ops)
+    (fun (ops1, ops2) ->
+      let z1 = build_zone ops1 and z2 = build_zone ops2 in
+      let zi = Ta.Dbm.intersect z1 z2 in
+      List.for_all
+        (fun p ->
+          Ta.Dbm.contains_point zi p
+          = (Ta.Dbm.contains_point z1 p && Ta.Dbm.contains_point z2 p))
+        sample_points)
+
+let prop_includes_agrees_with_points =
+  QCheck2.Test.make ~name:"inclusion implies pointwise subset" ~count:80
+    QCheck2.Gen.(pair gen_ops gen_ops)
+    (fun (ops1, ops2) ->
+      let z1 = build_zone ops1 and z2 = build_zone ops2 in
+      if Ta.Dbm.includes z1 z2 then
+        List.for_all
+          (fun p ->
+            (not (Ta.Dbm.contains_point z2 p)) || Ta.Dbm.contains_point z1 p)
+          sample_points
+      else true)
+
+let prop_up_preserves_and_extends =
+  QCheck2.Test.make ~name:"up keeps all points and their futures" ~count:80
+    gen_ops (fun ops ->
+      let z = build_zone ops in
+      let zu = Ta.Dbm.up z in
+      List.for_all
+        (fun p ->
+          (not (Ta.Dbm.contains_point z p))
+          || Ta.Dbm.contains_point zu p
+             && Ta.Dbm.contains_point zu (Array.map (fun v -> v + 2) (Array.mapi (fun i v -> if i = 0 then v - 2 else v) p)))
+        sample_points)
+
+let prop_reset_sets_clock =
+  QCheck2.Test.make ~name:"reset pins the clock to its value" ~count:80
+    QCheck2.Gen.(triple gen_ops (int_range 1 3) (int_range 0 4))
+    (fun (ops, c, v) ->
+      let z = build_zone ops in
+      if Ta.Dbm.is_empty z then true
+      else begin
+        let zr = Ta.Dbm.reset z c v in
+        Ta.Dbm.is_empty zr
+        || List.for_all
+             (fun p ->
+               (not (Ta.Dbm.contains_point zr p)) || p.(c) = v)
+             sample_points
+      end)
+
+let prop_extrapolation_widens =
+  QCheck2.Test.make ~name:"extrapolation only widens" ~count:80 gen_ops
+    (fun ops ->
+      let z = build_zone ops in
+      let e = Ta.Dbm.extrapolate z [| 0; 4; 4; 4 |] in
+      Ta.Dbm.includes e z)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_intersect_is_conjunction;
+      prop_includes_agrees_with_points;
+      prop_up_preserves_and_extends;
+      prop_reset_sets_clock;
+      prop_extrapolation_widens;
+    ]
+
+let () =
+  Alcotest.run "ta"
+    [
+      ( "dbm",
+        [
+          Alcotest.test_case "bound encoding" `Quick test_bounds;
+          Alcotest.test_case "zero zone" `Quick test_zero_zone;
+          Alcotest.test_case "up and constrain" `Quick test_up_and_constrain;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "emptiness" `Quick test_empty_intersection;
+          Alcotest.test_case "inclusion" `Quick test_includes;
+          Alcotest.test_case "intersection" `Quick test_intersect;
+          Alcotest.test_case "extrapolation" `Quick test_extrapolation_idempotent;
+          Alcotest.test_case "universe" `Quick test_universe;
+        ] );
+      ( "reach",
+        [
+          Alcotest.test_case "simple chain" `Quick test_reach_simple;
+          Alcotest.test_case "invariant blocks" `Quick test_reach_invariant_blocks;
+          Alcotest.test_case "binary sync" `Quick test_sync_handshake;
+          Alcotest.test_case "committed priority" `Quick test_committed_priority;
+          Alcotest.test_case "urgent no delay" `Quick test_urgent_blocks_delay;
+          Alcotest.test_case "data guard/update" `Quick test_data_guard_and_update;
+          Alcotest.test_case "state cap" `Quick test_max_states_cap;
+        ] );
+      ( "concrete",
+        [
+          Alcotest.test_case "simple run" `Quick test_concrete_simple_run;
+          Alcotest.test_case "invariant forces" `Quick test_concrete_invariant_forces_action;
+          Alcotest.test_case "sync and store" `Quick test_concrete_sync_and_store;
+          Alcotest.test_case "prefer policy" `Quick test_concrete_prefer_policy;
+        ] );
+      ("properties", props);
+    ]
