@@ -635,6 +635,62 @@ let microbench () =
       | Some _ | None -> Printf.printf "%-42s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* Observability snapshot: one instrumented pass over the three
+   compute-heavy engines, written to BENCH_obs.json so future changes
+   have a per-engine states/sec and tables/sec trajectory to regress
+   against.  Runs with obs enabled, then restores the disabled
+   default so the timing sections above stay uninstrumented. *)
+
+let obs_snapshot () =
+  section "X8" "Observability snapshot — BENCH_obs.json (per-engine throughput)";
+  Obs.Metric.reset ();
+  Obs.Span.reset ();
+  Obs.Trace_ctx.reset ();
+  Obs.Trace_ctx.enable ();
+  Fun.protect ~finally:Obs.Trace_ctx.disable (fun () ->
+      Obs.Span.with_ "bench.obs_snapshot" (fun () ->
+          let c1 = Casestudy.c1 in
+          (* tables/sec: the dwell-table pre-computation engine *)
+          let t0 = Unix.gettimeofday () in
+          let reps = 3 in
+          for _ = 1 to reps do
+            ignore
+              (Core.Dwell.compute c1.Casestudy.plant c1.Casestudy.gains
+                 ~j_star:c1.Casestudy.j_star)
+          done;
+          let dt = Unix.gettimeofday () -. t0 in
+          Obs.Metric.set_gauge "bench.dwell.tables_per_sec"
+            (float_of_int reps /. dt);
+          (* states/sec: both verification engines on S2 = {C6,C2} *)
+          let s2 = Core.Mapping.specs_of_group (List.map find_app [ "C6"; "C2" ]) in
+          let r = Core.Dverify.verify s2 in
+          Obs.Metric.set_gauge "bench.dverify.states_per_sec"
+            (float_of_int r.Core.Dverify.stats.Core.Dverify.states
+            /. Float.max 1e-9 r.Core.Dverify.stats.Core.Dverify.elapsed);
+          let rt = Core.Ta_model.verify ~inclusion:false s2 in
+          Obs.Metric.set_gauge "bench.ta.states_per_sec"
+            (float_of_int rt.Core.Ta_model.stats.Ta.Reach.states
+            /. Float.max 1e-9 rt.Core.Ta_model.stats.Ta.Reach.elapsed);
+          (* samples/sec: the co-simulation engine on the Fig. 8 scenario *)
+          let scenario =
+            Cosim.Scenario.make
+              ~apps:(List.map find_app [ "C1"; "C5"; "C4"; "C3" ])
+              ~disturbances:[ (0, "C1"); (0, "C3"); (0, "C4"); (0, "C5") ]
+              ~horizon:60
+          in
+          let t0 = Unix.gettimeofday () in
+          ignore (Cosim.Engine.run scenario);
+          Obs.Metric.set_gauge "bench.cosim.samples_per_sec"
+            (60. /. Float.max 1e-9 (Unix.gettimeofday () -. t0)));
+      let report = Obs.Report.collect ~command:"bench" () in
+      let oc = open_out "BENCH_obs.json" in
+      output_string oc (Obs.Report.json_to_string (Obs.Report.to_json report));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "%a@." Obs.Report.pp report;
+      print_endline "wrote BENCH_obs.json")
+
 let () =
   fig2 ();
   fig3 ();
@@ -652,4 +708,5 @@ let () =
   system_simulation ();
   fleet_scalability ();
   microbench ();
+  obs_snapshot ();
   print_newline ()

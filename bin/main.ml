@@ -8,10 +8,23 @@ let app_of_name name =
   Core.App.make ~name:a.Casestudy.name ~plant:a.Casestudy.plant
     ~gains:a.Casestudy.gains ~r:a.Casestudy.r ~j_star:a.Casestudy.j_star ()
 
+(* dwell tables are computed inside App.make, so this is the CLI's
+   "dwell-table" phase; resolve names one at a time so an unknown one
+   can be reported by name instead of a bare Not_found *)
 let parse_apps names =
-  try Ok (List.map app_of_name names)
-  with Not_found ->
-    Error (`Msg "unknown application (case study provides C1..C6)")
+  Obs.Span.with_ "dwell-tables" @@ fun () ->
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+      match app_of_name name with
+      | app -> go (app :: acc) rest
+      | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown application %S (case study provides C1..C6)"
+                name)))
+  in
+  go [] names
 
 let pp_int_array ppf a =
   Format.fprintf ppf "[%s]"
@@ -45,6 +58,7 @@ let verify_cmd_run engine bound names =
   | Ok [] -> prerr_endline "verify: give at least one application"; 1
   | Ok apps ->
     let specs = Core.Mapping.specs_of_group apps in
+    Obs.Span.with_ "model-check" @@ fun () ->
     (match engine with
      | `Discrete | `Bfs ->
        let mode = if engine = `Bfs then `Bfs else `Subsumption in
@@ -152,7 +166,8 @@ let simulate_cmd_run names disturbances horizon stride csv =
        let scenario = Cosim.Scenario.make ~apps ~disturbances:ds ~horizon in
        let trace = Cosim.Engine.run scenario in
        let csv_rc = write_csv_opt csv (Cosim.Export.trace_csv trace) in
-       if csv_rc <> 0 then exit csv_rc;
+       if csv_rc <> 0 then csv_rc
+       else begin
        List.iter print_endline (Cosim.Trace.to_rows trace ~stride);
        print_newline ();
        List.iter print_endline (Cosim.Trace.to_gantt trace);
@@ -169,7 +184,8 @@ let simulate_cmd_run names disturbances horizon stride csv =
              Format.printf "%s disturbed at %d: no settling in horizon@."
                trace.Cosim.Trace.names.(id) sample)
          trace.Cosim.Trace.disturbances;
-       0)
+       0
+       end)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
@@ -185,14 +201,16 @@ let sweep_cmd_run name t_w_max t_dw_max csv =
       write_csv_opt csv
         (Cosim.Export.surface_csv surface ~h:app.Core.App.plant.Control.Plant.h)
     in
-    if csv_rc <> 0 then exit csv_rc;
-    Format.printf "Tw Tdw J(samples)@.";
-    List.iter
-      (fun (t_w, t_dw, j) ->
-        Format.printf "%2d %3d %s@." t_w t_dw
-          (match j with Some j -> string_of_int j | None -> "-"))
-      surface;
-    0
+    if csv_rc <> 0 then csv_rc
+    else begin
+      Format.printf "Tw Tdw J(samples)@.";
+      List.iter
+        (fun (t_w, t_dw, j) ->
+          Format.printf "%2d %3d %s@." t_w t_dw
+            (match j with Some j -> string_of_int j | None -> "-"))
+        surface;
+      0
+    end
   | Ok _ -> 1
 
 (* ------------------------------------------------------------------ *)
@@ -292,16 +310,82 @@ let uppaal_cmd_run out names =
         | Error m -> prerr_endline m; 1))
 
 (* ------------------------------------------------------------------ *)
+(* report *)
+
+let report_cmd_run path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> prerr_endline m; 1
+  | contents ->
+    let runs =
+      List.filter
+        (fun l -> String.trim l <> "")
+        (String.split_on_char '\n' contents)
+    in
+    (match List.rev runs with
+     | [] -> Printf.eprintf "report: %s holds no runs\n" path; 1
+     | last :: _ ->
+       (match
+          Result.bind (Obs.Report.json_of_string last) Obs.Report.of_json
+        with
+        | Error m -> Printf.eprintf "report: %s: %s\n" path m; 1
+        | Ok r ->
+          Format.printf "%a@." Obs.Report.pp r;
+          Printf.printf "(%d run(s) in %s; showing the most recent)\n"
+            (List.length runs) path;
+          0))
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing *)
 
 open Cmdliner
+
+(* Every subcommand takes --metrics[=PATH] / --trace; when either is
+   given the run executes under a root span, and the finished report
+   goes to the JSONL sink and/or the stderr summary. *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "cpsdim-metrics.jsonl") (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Collect metrics and timing spans, appending one JSON line per run \
+           to $(docv) (default cpsdim-metrics.jsonl; see 'cpsdim report').")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Collect metrics and timing spans and print a summary to stderr.")
+
+let obs_wrap command metrics trace f =
+  if metrics = None && not trace then f ()
+  else begin
+    Obs.Trace_ctx.enable ();
+    let root = Obs.Span.start command in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Span.finish root;
+        let report = Obs.Report.collect ~command () in
+        Option.iter
+          (fun path -> Obs.Sink.emit (Obs.Sink.jsonl ~path) report)
+          metrics;
+        if trace then Obs.Sink.emit Obs.Sink.stderr_summary report)
+      f
+  end
+
+let with_obs command thunk =
+  Term.(
+    const (fun metrics trace f -> obs_wrap command metrics trace f)
+    $ metrics_arg $ trace_arg $ thunk)
 
 let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"APP" ~doc:"Case-study application names (C1..C6).")
 
 let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Print the dwell-time tables (Table 1)")
-    Term.(const tables_cmd_run $ names_arg)
+    (with_obs "tables"
+       Term.(const (fun names () -> tables_cmd_run names) $ names_arg))
 
 let engine_arg =
   Arg.(
@@ -314,7 +398,10 @@ let bound_arg =
 
 let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Model-check a slot group")
-    Term.(const verify_cmd_run $ engine_arg $ bound_arg $ names_arg)
+    (with_obs "verify"
+       Term.(
+         const (fun engine bound names () -> verify_cmd_run engine bound names)
+         $ engine_arg $ bound_arg $ names_arg))
 
 let baseline_arg =
   Arg.(value & flag & info [ "b"; "baseline" ] ~doc:"Also run the DATE'12 baseline packing.")
@@ -324,7 +411,10 @@ let optimal_arg =
 
 let map_cmd =
   Cmd.v (Cmd.info "map" ~doc:"Slot mapping of the case study (first-fit or exact)")
-    Term.(const map_cmd_run $ baseline_arg $ optimal_arg)
+    (with_obs "map"
+       Term.(
+         const (fun baseline optimal () -> map_cmd_run baseline optimal)
+         $ baseline_arg $ optimal_arg))
 
 let disturbances_arg =
   Arg.(value & opt_all string [] & info [ "d"; "disturb" ] ~docv:"SAMPLE:APP" ~doc:"Disturbance arrival, e.g. -d 0:C1.")
@@ -340,7 +430,11 @@ let csv_arg =
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Co-simulate a slot group")
-    Term.(const simulate_cmd_run $ names_arg $ disturbances_arg $ horizon_arg $ stride_arg $ csv_arg)
+    (with_obs "simulate"
+       Term.(
+         const (fun names ds horizon stride csv () ->
+             simulate_cmd_run names ds horizon stride csv)
+         $ names_arg $ disturbances_arg $ horizon_arg $ stride_arg $ csv_arg))
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Application name.")
@@ -350,11 +444,14 @@ let tdw_arg = Arg.(value & opt int 10 & info [ "tdw" ] ~doc:"Maximum dwell to sw
 
 let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Settling-time surface J(Tw, Tdw) (Fig. 3)")
-    Term.(const sweep_cmd_run $ name_arg $ tw_arg $ tdw_arg $ csv_arg)
+    (with_obs "sweep"
+       Term.(
+         const (fun name tw tdw csv () -> sweep_cmd_run name tw tdw csv)
+         $ name_arg $ tw_arg $ tdw_arg $ csv_arg))
 
 let flexray_cmd =
   Cmd.v (Cmd.info "flexray" ~doc:"FlexRay timing sanity checks")
-    Term.(const flexray_cmd_run $ const ())
+    (with_obs "flexray" Term.(const flexray_cmd_run))
 
 let jstar_arg =
   Arg.(value & opt (some int) None & info [ "j" ] ~doc:"Settling budget in samples (defaults to the app's J*).")
@@ -364,7 +461,10 @@ let cqlf_arg =
 
 let design_cmd =
   Cmd.v (Cmd.info "design" ~doc:"Synthesise a switching gain pair for an app's plant")
-    Term.(const design_cmd_run $ name_arg $ jstar_arg $ cqlf_arg)
+    (with_obs "design"
+       Term.(
+         const (fun name jstar cqlf () -> design_cmd_run name jstar cqlf)
+         $ name_arg $ jstar_arg $ cqlf_arg))
 
 let count_arg =
   Arg.(value & opt int 6 & info [ "n" ] ~doc:"Fleet size.")
@@ -374,18 +474,37 @@ let seed_arg =
 
 let fleet_cmd =
   Cmd.v (Cmd.info "fleet" ~doc:"Generate a synthetic fleet and map it to slots")
-    Term.(const fleet_cmd_run $ count_arg $ seed_arg)
+    (with_obs "fleet"
+       Term.(
+         const (fun count seed () -> fleet_cmd_run count seed)
+         $ count_arg $ seed_arg))
 
 let out_arg =
   Arg.(value & opt (some string) None & info [ "o" ] ~docv:"PATH" ~doc:"Write PATH.xml and PATH.q instead of stdout.")
 
 let uppaal_cmd =
   Cmd.v (Cmd.info "uppaal" ~doc:"Export a slot group as an UPPAAL model")
-    Term.(const uppaal_cmd_run $ out_arg $ names_arg)
+    (with_obs "uppaal"
+       Term.(
+         const (fun out names () -> uppaal_cmd_run out names)
+         $ out_arg $ names_arg))
 
 let margins_cmd =
   Cmd.v (Cmd.info "margins" ~doc:"Worst-case waits and settling margins of a verified group")
-    Term.(const margins_cmd_run $ names_arg)
+    (with_obs "margins"
+       Term.(const (fun names () -> margins_cmd_run names) $ names_arg))
+
+let report_path_arg =
+  Arg.(
+    value
+    & pos 0 string "cpsdim-metrics.jsonl"
+    & info [] ~docv:"PATH" ~doc:"JSONL file written by --metrics.")
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Pretty-print the most recent JSONL metrics run")
+    Term.(const report_cmd_run $ report_path_arg)
 
 let default = Term.(ret (const (`Help (`Pager, None))))
 
@@ -394,4 +513,4 @@ let () =
     Cmd.info "cpsdim" ~version:"1.0.0"
       ~doc:"Tighter dimensioning of TT slots with control performance guarantees"
   in
-  exit (Cmd.eval' (Cmd.group ~default info [ tables_cmd; verify_cmd; map_cmd; simulate_cmd; sweep_cmd; flexray_cmd; design_cmd; fleet_cmd; uppaal_cmd; margins_cmd ]))
+  exit (Cmd.eval' (Cmd.group ~default info [ tables_cmd; verify_cmd; map_cmd; simulate_cmd; sweep_cmd; flexray_cmd; design_cmd; fleet_cmd; uppaal_cmd; margins_cmd; report_cmd ]))

@@ -94,8 +94,9 @@ let deep_mem tbl k = Deep_tbl.mem tbl (Obj.repr k)
 let deep_add tbl k v = Deep_tbl.replace tbl (Obj.repr k) v
 let deep_find_opt tbl k = Deep_tbl.find_opt tbl (Obj.repr k)
 
-let explore ~policy ~subsume ~instances specs =
+let explore_impl ~policy ~subsume ~instances specs =
   let t0 = Unix.gettimeofday () in
+  let prune_hits = ref 0 and waiting_peak = ref 0 in
   let n = Array.length specs in
   let max_wait = Array.make n (-1) in
   let bounded = instances <> None in
@@ -139,14 +140,20 @@ let explore ~policy ~subsume ~instances specs =
     if subsume then begin
       let key, ages = abstract node in
       let chain = Option.value ~default:[] (deep_find_opt chains key) in
-      if List.exists (fun e -> covers e ages) chain then true
+      if List.exists (fun e -> covers e ages) chain then begin
+        incr prune_hits;
+        true
+      end
       else begin
         let chain = ages :: List.filter (fun e -> not (covers ages e)) chain in
         deep_add chains key chain;
         false
       end
     end
-    else if deep_mem visited node then true
+    else if deep_mem visited node then begin
+      incr prune_hits;
+      true
+    end
     else begin
       deep_add visited node ();
       false
@@ -198,21 +205,31 @@ let explore ~policy ~subsume ~instances specs =
              if not (seen node') then begin
                incr states;
                deep_add parents node' (node, disturbed);
-               Queue.add node' queue
+               Queue.add node' queue;
+               if Queue.length queue > !waiting_peak then
+                 waiting_peak := Queue.length queue
              end)
          (List.concat_map (arrival_orders specs) (subsets available))
      done
    with Exit -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if Obs.Trace_ctx.enabled () then begin
+    Obs.Metric.count "dverify.states" !states;
+    Obs.Metric.count "dverify.transitions" !transitions;
+    Obs.Metric.count "dverify.prune_hits" !prune_hits;
+    Obs.Metric.max_gauge "dverify.waiting_peak" (float_of_int !waiting_peak);
+    if elapsed > 0. then
+      Obs.Metric.max_gauge "dverify.states_per_sec"
+        (float_of_int !states /. elapsed)
+  end;
   {
     verdict = !verdict;
-    stats =
-      {
-        states = !states;
-        transitions = !transitions;
-        elapsed = Unix.gettimeofday () -. t0;
-        max_wait;
-      };
+    stats = { states = !states; transitions = !transitions; elapsed; max_wait };
   }
+
+let explore ~policy ~subsume ~instances specs =
+  Obs.Span.with_ "dverify" (fun () ->
+      explore_impl ~policy ~subsume ~instances specs)
 
 let verify ?(policy = Sched.Slot_state.Eager_preempt) ?(mode = `Subsumption)
     specs =

@@ -26,23 +26,43 @@ let settle_hold ?threshold p g ~t_w =
 let j_of _table p g ~t_w ~t_dw = Strategy.settling p g ~t_w ~t_dw
 
 let surface ?threshold p g ~t_w_max ~t_dw_max =
-  List.concat
-    (List.init (t_w_max + 1) (fun t_w ->
-         List.init t_dw_max (fun d ->
-             let t_dw = d + 1 in
-             (t_w, t_dw, Strategy.settling ?threshold p g ~t_w ~t_dw))))
+  Obs.Span.with_ "dwell.surface" (fun () ->
+      let s =
+        List.concat
+          (List.init (t_w_max + 1) (fun t_w ->
+               List.init t_dw_max (fun d ->
+                   let t_dw = d + 1 in
+                   (t_w, t_dw, Strategy.settling ?threshold p g ~t_w ~t_dw))))
+      in
+      if Obs.Trace_ctx.enabled () then begin
+        Obs.Metric.count "dwell.simulations" (List.length s);
+        Obs.Metric.count "dwell.infeasible_skipped"
+          (List.length (List.filter (fun (_, _, j) -> j = None) s))
+      end;
+      s)
 
 (* Per-wait analysis: scan dwell times and extract the min feasible
    dwell and the first dwell achieving the best attainable settling. *)
 let analyse_wait ?threshold p g ~j_star ~t_w =
   match settle_hold ?threshold p g ~t_w with
-  | None -> None (* even holding the slot forever never settles *)
+  | None ->
+    (* even holding the slot forever never settles *)
+    if Obs.Trace_ctx.enabled () then begin
+      Obs.Metric.count "dwell.simulations" 1;
+      Obs.Metric.count "dwell.infeasible_skipped" 1
+    end;
+    None
   | Some j_hold ->
     let cap = Int.max (j_hold - t_w) (j_star - t_w) + 25 in
     let js =
       Array.init cap (fun d ->
           Strategy.settling ?threshold p g ~t_w ~t_dw:(d + 1))
     in
+    if Obs.Trace_ctx.enabled () then begin
+      Obs.Metric.count "dwell.simulations" (cap + 1);
+      Obs.Metric.count "dwell.infeasible_skipped"
+        (Array.fold_left (fun acc j -> if j = None then acc + 1 else acc) 0 js)
+    end;
     let best =
       Array.fold_left
         (fun acc j ->
@@ -93,9 +113,20 @@ let analyse_wait ?threshold p g ~j_star ~t_w =
          | None -> None
        end)
 
+(* [analyse_wait] with its wall time fed to the per-T_w histogram *)
+let analyse_wait_timed ?threshold p g ~j_star ~t_w =
+  if not (Obs.Trace_ctx.enabled ()) then analyse_wait ?threshold p g ~j_star ~t_w
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let r = analyse_wait ?threshold p g ~j_star ~t_w in
+    Obs.Metric.observe_value "dwell.per_tw_s" (Unix.gettimeofday () -. t0);
+    r
+  end
+
 let compute ?threshold ?(stride = 1) p g ~j_star =
   if stride < 1 then invalid_arg "Dwell.compute: stride must be >= 1";
   if j_star < 1 then invalid_arg "Dwell.compute: j_star must be >= 1";
+  Obs.Span.with_ "dwell.compute" @@ fun () ->
   let a_tt = Control.Feedback.closed_loop_tt p g.Control.Switched.kt in
   let a_et = Control.Feedback.closed_loop_et p g.Control.Switched.ke in
   if not (Linalg.Eig.is_schur_stable a_tt) then
@@ -117,7 +148,7 @@ let compute ?threshold ?(stride = 1) p g ~j_star =
   if je <= j_star then
     infeasible "requirement J* = %d trivially met on ET: J_E = %d" j_star je;
   let rec collect t_w acc =
-    match analyse_wait ?threshold p g ~j_star ~t_w with
+    match analyse_wait_timed ?threshold p g ~j_star ~t_w with
     | None -> List.rev acc
     | Some entry -> collect (t_w + stride) ((t_w, entry) :: acc)
   in

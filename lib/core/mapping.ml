@@ -19,12 +19,25 @@ let default_verifier specs =
   | Dverify.Safe -> `Safe
   | Dverify.Unsafe _ -> `Unsafe
 
+(* a verifier call with its latency fed to the per-group histogram *)
+let checked_verdict verifier specs =
+  if not (Obs.Trace_ctx.enabled ()) then verifier specs
+  else begin
+    Obs.Metric.count "mapping.model_checks" 1;
+    let t0 = Unix.gettimeofday () in
+    let v = verifier specs in
+    Obs.Metric.observe_value "mapping.verdict_s" (Unix.gettimeofday () -. t0);
+    v
+  end
+
 let first_fit ?(verifier = default_verifier) ?(presorted = false) apps =
+  Obs.Span.with_ "mapping.first_fit" @@ fun () ->
   let apps = if presorted then apps else sort_order apps in
   let count = ref 0 in
   let fits group app =
     incr count;
-    verifier (specs_of_group (group @ [ app ])) = `Safe
+    Obs.Metric.count "mapping.groups_tried" 1;
+    checked_verdict verifier (specs_of_group (group @ [ app ])) = `Safe
   in
   let place slots app =
     let rec go = function
@@ -56,6 +69,7 @@ let pp ppf t =
    DP over bitmasks. *)
 
 let optimal ?(verifier = default_verifier) apps =
+  Obs.Span.with_ "mapping.optimal" @@ fun () ->
   let apps = Array.of_list apps in
   let n = Array.length apps in
   if n = 0 then { slots = []; verifications = 0 }
@@ -73,6 +87,7 @@ let optimal ?(verifier = default_verifier) apps =
       | `Safe -> true
       | `Unsafe -> false
       | `Unknown ->
+        Obs.Metric.count "mapping.groups_tried" 1;
         let ids = members mask in
         let result =
           if List.length ids <= 1 then true
@@ -88,7 +103,7 @@ let optimal ?(verifier = default_verifier) apps =
           else begin
             incr count;
             let group = List.map (fun i -> apps.(i)) ids in
-            verifier (specs_of_group group) = `Safe
+            checked_verdict verifier (specs_of_group group) = `Safe
           end
         in
         safety.(mask) <- (if result then `Safe else `Unsafe);

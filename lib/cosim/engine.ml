@@ -2,6 +2,7 @@ let run ?policy (scenario : Scenario.t) =
   let apps = Array.of_list scenario.Scenario.apps in
   let n = Array.length apps in
   if n = 0 then invalid_arg "Engine.run: empty scenario";
+  Obs.Span.with_ "cosim.run" @@ fun () ->
   let h = apps.(0).Core.App.plant.Control.Plant.h in
   Array.iter
     (fun (a : Core.App.t) ->
@@ -41,11 +42,33 @@ let run ?policy (scenario : Scenario.t) =
       states.(i) := Control.Switched.step a.Core.App.plant a.Core.App.gains mode !(states.(i))
     done
   done;
+  let owner_trace = Sched.Arbiter.owner_trace arbiter in
+  if Obs.Trace_ctx.enabled () then begin
+    Obs.Metric.count "cosim.samples" horizon;
+    Obs.Metric.count "cosim.apps" n;
+    Obs.Metric.count "cosim.disturbances" (List.length disturbances);
+    Obs.Metric.count "cosim.preemptions"
+      (List.length
+         (List.filter
+            (fun (e : Sched.Arbiter.log_entry) ->
+              match e.Sched.Arbiter.event with `Preempt _ -> true | _ -> false)
+            (Sched.Arbiter.log arbiter)));
+    (* per-application mode switches: each change of slot ownership
+       status (Mt <-> Me) across consecutive samples *)
+    for i = 0 to n - 1 do
+      let switches = ref 0 in
+      for k = 1 to horizon - 1 do
+        let owns j = owner_trace.(j) = Some i in
+        if owns k <> owns (k - 1) then incr switches
+      done;
+      Obs.Metric.observe_value "cosim.mode_switches" (float_of_int !switches)
+    done
+  end;
   {
     Trace.names = Array.map (fun (a : Core.App.t) -> a.Core.App.name) apps;
     h;
     outputs;
-    owner = Sched.Arbiter.owner_trace arbiter;
+    owner = owner_trace;
     log = Sched.Arbiter.log arbiter;
     disturbances;
   }

@@ -1,0 +1,133 @@
+type counter = { c_name : string; v : int Atomic.t }
+type gauge = { g_name : string; mutable g : float; mutable g_set : bool }
+
+type histogram = {
+  h_name : string;
+  mutable values : float array;
+  mutable len : int;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let find_or_create name make =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+    let m = make () in
+    Hashtbl.replace registry name m;
+    m
+
+let counter name =
+  match
+    find_or_create name (fun () -> C { c_name = name; v = Atomic.make 0 })
+  with
+  | C c -> c
+  | G _ | H _ -> invalid_arg ("Metric.counter: " ^ name ^ " is not a counter")
+
+let add c n = if Trace_ctx.enabled () then ignore (Atomic.fetch_and_add c.v n)
+let incr c = add c 1
+let value c = Atomic.get c.v
+
+let gauge name =
+  match
+    find_or_create name (fun () -> G { g_name = name; g = 0.; g_set = false })
+  with
+  | G g -> g
+  | C _ | H _ -> invalid_arg ("Metric.gauge: " ^ name ^ " is not a gauge")
+
+let set g v =
+  if Trace_ctx.enabled () then begin
+    g.g <- v;
+    g.g_set <- true
+  end
+
+let set_max g v =
+  if Trace_ctx.enabled () then
+    if (not g.g_set) || v > g.g then begin
+      g.g <- v;
+      g.g_set <- true
+    end
+
+let gauge_value g = if g.g_set then Some g.g else None
+
+let histogram name =
+  match
+    find_or_create name (fun () ->
+        H { h_name = name; values = [||]; len = 0 })
+  with
+  | H h -> h
+  | C _ | G _ -> invalid_arg ("Metric.histogram: " ^ name ^ " is not a histogram")
+
+let observe h v =
+  if Trace_ctx.enabled () then begin
+    if h.len = Array.length h.values then begin
+      let cap = Int.max 16 (2 * h.len) in
+      let grown = Array.make cap 0. in
+      Array.blit h.values 0 grown 0 h.len;
+      h.values <- grown
+    end;
+    h.values.(h.len) <- v;
+    h.len <- h.len + 1
+  end
+
+let sorted_values h = Array.sub h.values 0 h.len |> fun a -> Array.sort compare a; a
+
+let percentile h q =
+  if h.len = 0 then nan
+  else begin
+    let a = sorted_values h in
+    let rank = int_of_float (ceil (q *. float_of_int h.len)) - 1 in
+    a.(Int.max 0 (Int.min (h.len - 1) rank))
+  end
+
+let count name n = if Trace_ctx.enabled () then add (counter name) n
+let set_gauge name v = if Trace_ctx.enabled () then set (gauge name) v
+let max_gauge name v = if Trace_ctx.enabled () then set_max (gauge name) v
+let observe_value name v = if Trace_ctx.enabled () then observe (histogram name) v
+
+type summary = {
+  n : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type entry =
+  | Counter of string * int
+  | Gauge of string * float
+  | Histogram of string * summary
+
+let summarise h =
+  let a = sorted_values h in
+  let n = h.len in
+  let total = Array.fold_left ( +. ) 0. a in
+  {
+    n;
+    min = a.(0);
+    max = a.(n - 1);
+    mean = total /. float_of_int n;
+    p50 = percentile h 0.5;
+    p90 = percentile h 0.9;
+    p99 = percentile h 0.99;
+  }
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name m acc ->
+      match m with
+      | C c -> if Atomic.get c.v <> 0 then Counter (name, Atomic.get c.v) :: acc else acc
+      | G g -> if g.g_set then Gauge (name, g.g) :: acc else acc
+      | H h -> if h.len > 0 then Histogram (name, summarise h) :: acc else acc)
+    registry []
+  |> List.sort (fun a b ->
+         let name = function
+           | Counter (n, _) | Gauge (n, _) | Histogram (n, _) -> n
+         in
+         String.compare (name a) (name b))
+
+let reset () = Hashtbl.reset registry

@@ -1,0 +1,459 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Assoc of (string * json) list
+
+(* ------------------------------------------------------------------ *)
+(* serialisation *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_literal f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let json_to_string j =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_literal f)
+    | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          go x)
+        l;
+      Buffer.add_char b ']'
+    | Assoc kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          go (String k);
+          Buffer.add_char b ':';
+          go v)
+        kvs;
+      Buffer.add_char b '}'
+  in
+  go j;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* parsing *)
+
+exception Parse of string
+
+let json_of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        if !pos >= n then fail "unterminated escape";
+        let c = s.[!pos] in
+        advance ();
+        (match c with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | 't' -> Buffer.add_char b '\t'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'u' ->
+           if !pos + 4 > n then fail "short \\u escape";
+           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           pos := !pos + 4;
+           if code < 0x80 then Buffer.add_char b (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+           end
+         | _ -> fail "bad escape");
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail ("bad number " ^ tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Assoc []
+      end
+      else begin
+        let member () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let items = ref [ member () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := member () :: !items;
+          skip_ws ()
+        done;
+        expect '}';
+        Assoc (List.rev !items)
+      end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* reports *)
+
+type t = {
+  command : string;
+  timestamp : float;
+  elapsed_s : float;
+  metrics : Metric.entry list;
+  spans : Span.record list;
+}
+
+let collect ~command () =
+  let spans = Span.drain () in
+  let t0 =
+    List.fold_left
+      (fun acc (s : Span.record) -> Float.min acc s.Span.start_s)
+      infinity spans
+  in
+  let t1 =
+    List.fold_left
+      (fun acc (s : Span.record) -> Float.max acc (s.Span.start_s +. s.Span.dur_s))
+      neg_infinity spans
+  in
+  let spans =
+    List.map (fun (s : Span.record) -> { s with Span.start_s = s.Span.start_s -. t0 }) spans
+  in
+  {
+    command;
+    timestamp = Unix.gettimeofday ();
+    elapsed_s = (if spans = [] then 0. else t1 -. t0);
+    metrics = Metric.snapshot ();
+    spans;
+  }
+
+let schema_id = "cpsdim.obs/1"
+
+let to_json t =
+  let counters, gauges, histograms =
+    List.fold_left
+      (fun (cs, gs, hs) entry ->
+        match entry with
+        | Metric.Counter (name, v) -> ((name, Int v) :: cs, gs, hs)
+        | Metric.Gauge (name, v) -> (cs, (name, Float v) :: gs, hs)
+        | Metric.Histogram (name, s) ->
+          ( cs,
+            gs,
+            ( name,
+              Assoc
+                [
+                  ("n", Int s.Metric.n);
+                  ("min", Float s.Metric.min);
+                  ("max", Float s.Metric.max);
+                  ("mean", Float s.Metric.mean);
+                  ("p50", Float s.Metric.p50);
+                  ("p90", Float s.Metric.p90);
+                  ("p99", Float s.Metric.p99);
+                ] )
+            :: hs ))
+      ([], [], []) t.metrics
+  in
+  Assoc
+    [
+      ("schema", String schema_id);
+      ("command", String t.command);
+      ("timestamp", Float t.timestamp);
+      ("elapsed_s", Float t.elapsed_s);
+      ("counters", Assoc (List.rev counters));
+      ("gauges", Assoc (List.rev gauges));
+      ("histograms", Assoc (List.rev histograms));
+      ( "spans",
+        List
+          (List.map
+             (fun (s : Span.record) ->
+               Assoc
+                 [
+                   ("id", Int s.Span.id);
+                   ("name", String s.Span.name);
+                   ( "parent",
+                     match s.Span.parent with None -> Null | Some p -> Int p );
+                   ("start_s", Float s.Span.start_s);
+                   ("dur_s", Float s.Span.dur_s);
+                 ])
+             t.spans) );
+    ]
+
+let ( let* ) = Result.bind
+
+let field name = function
+  | Assoc kvs -> (
+    match List.assoc_opt name kvs with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name))
+  | _ -> Error "expected an object"
+
+let as_string = function String s -> Ok s | _ -> Error "expected a string"
+
+let as_float = function
+  | Float f -> Ok f
+  | Int i -> Ok (float_of_int i)
+  | _ -> Error "expected a number"
+
+let as_int = function Int i -> Ok i | _ -> Error "expected an integer"
+let as_assoc = function Assoc kvs -> Ok kvs | _ -> Error "expected an object"
+let as_list = function List l -> Ok l | _ -> Error "expected an array"
+
+let map_result f l =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) l
+  |> Result.map List.rev
+
+let of_json j =
+  let* schema = field "schema" j in
+  let* schema = as_string schema in
+  if schema <> schema_id then Error ("unknown schema " ^ schema)
+  else
+    let* command = Result.bind (field "command" j) as_string in
+    let* timestamp = Result.bind (field "timestamp" j) as_float in
+    let* elapsed_s = Result.bind (field "elapsed_s" j) as_float in
+    let* counters = Result.bind (field "counters" j) as_assoc in
+    let* counters =
+      map_result
+        (fun (name, v) ->
+          let* v = as_int v in
+          Ok (Metric.Counter (name, v)))
+        counters
+    in
+    let* gauges = Result.bind (field "gauges" j) as_assoc in
+    let* gauges =
+      map_result
+        (fun (name, v) ->
+          let* v = as_float v in
+          Ok (Metric.Gauge (name, v)))
+        gauges
+    in
+    let* histograms = Result.bind (field "histograms" j) as_assoc in
+    let* histograms =
+      map_result
+        (fun (name, v) ->
+          let* n = Result.bind (field "n" v) as_int in
+          let* min = Result.bind (field "min" v) as_float in
+          let* max = Result.bind (field "max" v) as_float in
+          let* mean = Result.bind (field "mean" v) as_float in
+          let* p50 = Result.bind (field "p50" v) as_float in
+          let* p90 = Result.bind (field "p90" v) as_float in
+          let* p99 = Result.bind (field "p99" v) as_float in
+          Ok (Metric.Histogram (name, { Metric.n; min; max; mean; p50; p90; p99 })))
+        histograms
+    in
+    let* spans = Result.bind (field "spans" j) as_list in
+    let* spans =
+      map_result
+        (fun s ->
+          let* id = Result.bind (field "id" s) as_int in
+          let* name = Result.bind (field "name" s) as_string in
+          let* parent =
+            match field "parent" s with
+            | Ok Null -> Ok None
+            | Ok v -> Result.map Option.some (as_int v)
+            | Error _ as e -> e
+          in
+          let* start_s = Result.bind (field "start_s" s) as_float in
+          let* dur_s = Result.bind (field "dur_s" s) as_float in
+          Ok { Span.id; name; parent; start_s; dur_s })
+        spans
+    in
+    let metrics =
+      (* restore the name order [Metric.snapshot] produces *)
+      List.sort
+        (fun a b ->
+          let name = function
+            | Metric.Counter (n, _) | Metric.Gauge (n, _) | Metric.Histogram (n, _)
+              -> n
+          in
+          String.compare (name a) (name b))
+        (counters @ gauges @ histograms)
+    in
+    Ok { command; timestamp; elapsed_s; metrics; spans }
+
+(* ------------------------------------------------------------------ *)
+(* human summary *)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>== %s == (%.2f s)@," t.command t.elapsed_s;
+  if t.spans <> [] then begin
+    Format.fprintf ppf "spans:@,";
+    (* pre-order walk of the parent forest, in start order *)
+    let children id =
+      List.filter (fun (s : Span.record) -> s.Span.parent = Some id) t.spans
+    in
+    let roots =
+      List.filter (fun (s : Span.record) -> s.Span.parent = None) t.spans
+    in
+    let by_start =
+      List.sort (fun (a : Span.record) b -> compare a.Span.start_s b.Span.start_s)
+    in
+    let rec walk depth (s : Span.record) =
+      Format.fprintf ppf "  %s%-*s %8.3f s@," (String.make (2 * depth) ' ')
+        (Int.max 1 (30 - (2 * depth)))
+        s.Span.name s.Span.dur_s;
+      List.iter (walk (depth + 1)) (by_start (children s.Span.id))
+    in
+    List.iter (walk 0) (by_start roots)
+  end;
+  let counters =
+    List.filter_map (function Metric.Counter (n, v) -> Some (n, v) | _ -> None) t.metrics
+  in
+  let gauges =
+    List.filter_map (function Metric.Gauge (n, v) -> Some (n, v) | _ -> None) t.metrics
+  in
+  let histograms =
+    List.filter_map (function Metric.Histogram (n, s) -> Some (n, s) | _ -> None) t.metrics
+  in
+  if counters <> [] then begin
+    Format.fprintf ppf "counters:@,";
+    List.iter (fun (n, v) -> Format.fprintf ppf "  %-34s %d@," n v) counters
+  end;
+  if gauges <> [] then begin
+    Format.fprintf ppf "gauges:@,";
+    List.iter (fun (n, v) -> Format.fprintf ppf "  %-34s %.3f@," n v) gauges
+  end;
+  if histograms <> [] then begin
+    Format.fprintf ppf "histograms:@,";
+    List.iter
+      (fun (n, (s : Metric.summary)) ->
+        Format.fprintf ppf
+          "  %-34s n=%d min=%.4f mean=%.4f p50=%.4f p90=%.4f p99=%.4f max=%.4f@," n
+          s.Metric.n s.Metric.min s.Metric.mean s.Metric.p50 s.Metric.p90
+          s.Metric.p99 s.Metric.max)
+      histograms
+  end;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,24 @@
+type t = { emit : Report.t -> unit }
+
+let stderr_summary =
+  { emit = (fun r -> Format.eprintf "%a@." Report.pp r) }
+
+let jsonl ~path =
+  {
+    emit =
+      (fun r ->
+        match
+          let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc (Report.json_to_string (Report.to_json r));
+              output_char oc '\n')
+        with
+        | () -> ()
+        | exception Sys_error msg ->
+          Printf.eprintf "obs: cannot write %s: %s\n%!" path msg);
+  }
+
+let custom f = { emit = f }
+let emit t r = t.emit r

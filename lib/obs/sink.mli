@@ -1,0 +1,21 @@
+(** Pluggable report emitters.
+
+    A sink is just "somewhere a finished {!Report.t} goes": the
+    built-in ones are a human-readable summary on stderr (the
+    [--trace] flag) and an append-only JSONL file (the [--metrics]
+    flag); {!custom} lets tests and embedders capture reports
+    in-process. *)
+
+type t
+
+val stderr_summary : t
+(** {!Report.pp} to stderr. *)
+
+val jsonl : path:string -> t
+(** Append one compact JSON line per report to [path] (created if
+    missing).  Emission failures are reported on stderr but do not
+    raise: observability must never take the pipeline down. *)
+
+val custom : (Report.t -> unit) -> t
+
+val emit : t -> Report.t -> unit

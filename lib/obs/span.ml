@@ -1,0 +1,63 @@
+type t = int
+
+let none = 0
+
+type open_span = { o_name : string; o_parent : int option; o_start : float }
+
+type record = {
+  id : int;
+  name : string;
+  parent : int option;
+  start_s : float;
+  dur_s : float;
+}
+
+let open_spans : (int, open_span) Hashtbl.t = Hashtbl.create 16
+let finished : record list ref = ref [] (* newest first *)
+
+let start name =
+  if not (Trace_ctx.enabled ()) then none
+  else begin
+    let id = Trace_ctx.fresh_id () in
+    Hashtbl.replace open_spans id
+      {
+        o_name = name;
+        o_parent = Trace_ctx.current_parent ();
+        o_start = Unix.gettimeofday ();
+      };
+    Trace_ctx.push id;
+    id
+  end
+
+let finish t =
+  if t <> none then
+    match Hashtbl.find_opt open_spans t with
+    | None -> ()
+    | Some o ->
+      Hashtbl.remove open_spans t;
+      Trace_ctx.pop t;
+      finished :=
+        {
+          id = t;
+          name = o.o_name;
+          parent = o.o_parent;
+          start_s = o.o_start;
+          dur_s = Unix.gettimeofday () -. o.o_start;
+        }
+        :: !finished
+
+let with_ name f =
+  if not (Trace_ctx.enabled ()) then f ()
+  else begin
+    let s = start name in
+    Fun.protect ~finally:(fun () -> finish s) f
+  end
+
+let drain () =
+  let r = List.rev !finished in
+  finished := [];
+  r
+
+let reset () =
+  finished := [];
+  Hashtbl.reset open_spans

@@ -1,0 +1,43 @@
+(** Hierarchical timing spans.
+
+    A span measures one phase of a pipeline (a dwell-table
+    computation, a model-check call, a whole CLI subcommand); nesting
+    is tracked through {!Trace_ctx}, so a span started while another
+    is open becomes its child.  Finished spans accumulate in a
+    process-wide buffer that {!Report.collect} drains.
+
+    When observability is disabled every function here degenerates to
+    (at most) one bool check: {!start} returns {!none} without
+    allocating and {!with_} tail-calls its argument. *)
+
+type t
+(** A handle to an open span.  {!none} is the inert handle returned on
+    the disabled path. *)
+
+val none : t
+
+val start : string -> t
+(** Open a span named [name] under the currently innermost open span.
+    Returns {!none} when observability is disabled. *)
+
+val finish : t -> unit
+(** Close the span and record it.  A no-op on {!none}; finishing the
+    same handle twice records it once. *)
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ name f] wraps [f ()] in a span.  The span is finished even
+    when [f] raises. *)
+
+type record = {
+  id : int;
+  name : string;
+  parent : int option;  (** id of the enclosing span, if any *)
+  start_s : float;  (** absolute, [Unix.gettimeofday] *)
+  dur_s : float;
+}
+
+val drain : unit -> record list
+(** All finished spans in completion order, clearing the buffer. *)
+
+val reset : unit -> unit
+(** Drop finished and open spans (tests, multi-report harnesses). *)

@@ -1,0 +1,23 @@
+let on = ref false
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+let stack : int list ref = ref []
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let current_parent () = match !stack with [] -> None | id :: _ -> Some id
+let push id = stack := id :: !stack
+
+let pop id =
+  match !stack with
+  | top :: rest when top = id -> stack := rest
+  | _ -> stack := List.filter (fun x -> x <> id) !stack
+
+let reset () =
+  stack := [];
+  next_id := 0

@@ -1,0 +1,35 @@
+(** Process-wide observability context: the master switch and the
+    current span nesting.
+
+    Every instrumented call site guards itself with a single
+    {!enabled} check; when the switch is off the instrumentation is a
+    bool dereference and nothing else — no allocation, no hashing, no
+    syscalls.  The span stack records which span is currently open so
+    that {!Span.start} can attach new spans to the right parent
+    without the caller threading a context value through every
+    function signature. *)
+
+val enabled : unit -> bool
+(** The single check every instrumented path performs first. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val fresh_id : unit -> int
+(** Next span id (ids are unique per process run, starting at 1). *)
+
+val current_parent : unit -> int option
+(** Innermost open span, if any. *)
+
+val push : int -> unit
+(** Open a span: it becomes the parent of subsequent spans. *)
+
+val pop : int -> unit
+(** Close a span.  Tolerates out-of-order finishes (the span is
+    removed wherever it sits in the stack) so an exception unwinding
+    through several [Span.start]/[finish] pairs cannot corrupt the
+    nesting of unrelated spans. *)
+
+val reset : unit -> unit
+(** Clear the stack and restart ids at 1.  For tests and for harnesses
+    (e.g. the bench snapshot) that take several reports per process. *)

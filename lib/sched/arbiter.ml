@@ -36,6 +36,14 @@ let step t ?(disturbed = []) () =
     outcome.Slot_state.preempted;
   List.iter (fun id -> t.log <- entry (`Error id) :: t.log)
     outcome.Slot_state.new_errors;
+  if Obs.Trace_ctx.enabled () then begin
+    Obs.Metric.count "arbiter.samples" 1;
+    Obs.Metric.count "arbiter.grants" (List.length outcome.Slot_state.granted);
+    Obs.Metric.count "arbiter.releases" (List.length outcome.Slot_state.released);
+    Obs.Metric.count "arbiter.preemptions"
+      (List.length outcome.Slot_state.preempted);
+    Obs.Metric.count "arbiter.errors" (List.length outcome.Slot_state.new_errors)
+  end;
   t.state <- state;
   t.owners <- state.Slot_state.owner :: t.owners;
   t.sample <- t.sample + 1;

@@ -1,6 +1,13 @@
 type target = locs:int array -> store:Automaton.store -> bool
 
-type stats = { states : int; transitions : int; elapsed : float }
+type stats = {
+  states : int;
+  transitions : int;
+  elapsed : float;
+  waiting_peak : int;
+  inclusion_pruned : int;
+  dedup_hits : int;
+}
 
 type trace_step = { automaton : string; state : Network.state }
 
@@ -9,6 +16,10 @@ type result = {
   stats : stats;
   trace : trace_step list;
 }
+
+(* extrapolations performed by [fire] since the current [run] started;
+   module-level because [fire] is shared with the public [successors] *)
+let extrapolations = ref 0
 
 let fire net (state : Network.state) label edges =
   (* [edges] pairs each fired edge with its automaton index; for a
@@ -49,6 +60,7 @@ let fire net (state : Network.state) label edges =
         if Network.delay_forbidden net locs then zone
         else Network.invariant_zone net locs store (Dbm.up zone)
       in
+      incr extrapolations;
       let zone = Dbm.extrapolate zone net.Network.clock_maxima in
       if Dbm.is_empty zone then None
       else Some (label, { Network.locs; store; zone })
@@ -142,9 +154,10 @@ let deep_mem tbl k = Deep_tbl.mem tbl (Obj.repr k)
 let deep_add tbl k v = Deep_tbl.replace tbl (Obj.repr k) v
 let deep_find_opt tbl k = Deep_tbl.find_opt tbl (Obj.repr k)
 
-let run ?(max_states = 2_000_000) ?(inclusion = true) net target =
-  if max_states <= 0 then invalid_arg "Reach.run: max_states";
+let run_impl ~max_states ~inclusion net target =
   let t0 = Unix.gettimeofday () in
+  extrapolations := 0;
+  let dedup_hits = ref 0 and inclusion_pruned = ref 0 in
   let initial = Network.initial_state net in
   (* exact-match fast path: most revisits are zone-identical, so check
      a flat hash of (locs, store, zone) before scanning the antichain *)
@@ -153,12 +166,21 @@ let run ?(max_states = 2_000_000) ?(inclusion = true) net target =
   let passed : Dbm.t list Deep_tbl.t = Deep_tbl.create 4096 in
   let parents : (Network.state * string) Deep_tbl.t = Deep_tbl.create 4096 in
   let covered (locs, store) zone =
-    deep_mem exact (locs, store, zone)
-    || inclusion
-       &&
-       match deep_find_opt passed (locs, store) with
-       | None -> false
-       | Some zones -> List.exists (fun z -> Dbm.includes z zone) zones
+    if deep_mem exact (locs, store, zone) then begin
+      incr dedup_hits;
+      true
+    end
+    else
+      inclusion
+      &&
+      match deep_find_opt passed (locs, store) with
+      | None -> false
+      | Some zones ->
+        List.exists (fun z -> Dbm.includes z zone) zones
+        && begin
+             incr inclusion_pruned;
+             true
+           end
   in
   let remember (locs, store) zone =
     deep_add exact (locs, store, zone) ();
@@ -169,7 +191,7 @@ let run ?(max_states = 2_000_000) ?(inclusion = true) net target =
         (zone :: List.filter (fun z -> not (Dbm.includes zone z)) zones)
     end
   in
-  let states = ref 0 and transitions = ref 0 in
+  let states = ref 0 and transitions = ref 0 and waiting_peak = ref 0 in
   let queue = Queue.create () in
   let found = ref None in
   let trace_of st =
@@ -184,6 +206,7 @@ let run ?(max_states = 2_000_000) ?(inclusion = true) net target =
   remember (key_of initial) initial.Network.zone;
   incr states;
   Queue.add initial queue;
+  waiting_peak := 1;
   if target ~locs:initial.Network.locs ~store:initial.Network.store then
     found := Some initial;
   (try
@@ -202,21 +225,42 @@ let run ?(max_states = 2_000_000) ?(inclusion = true) net target =
                raise Exit
              end;
              if !states >= max_states then raise Exit;
-             Queue.add succ queue
+             Queue.add succ queue;
+             if Queue.length queue > !waiting_peak then
+               waiting_peak := Queue.length queue
            end)
          (successors net st)
      done
    with Exit -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if Obs.Trace_ctx.enabled () then begin
+    Obs.Metric.count "ta.reach.states" !states;
+    Obs.Metric.count "ta.reach.transitions" !transitions;
+    Obs.Metric.count "ta.reach.dedup_hits" !dedup_hits;
+    Obs.Metric.count "ta.reach.inclusion_pruned" !inclusion_pruned;
+    Obs.Metric.count "ta.reach.extrapolations" !extrapolations;
+    Obs.Metric.max_gauge "ta.reach.waiting_peak" (float_of_int !waiting_peak);
+    if elapsed > 0. then
+      Obs.Metric.max_gauge "ta.reach.states_per_sec"
+        (float_of_int !states /. elapsed)
+  end;
   {
     reachable = !found;
     stats =
       {
         states = !states;
         transitions = !transitions;
-        elapsed = Unix.gettimeofday () -. t0;
+        elapsed;
+        waiting_peak = !waiting_peak;
+        inclusion_pruned = !inclusion_pruned;
+        dedup_hits = !dedup_hits;
       };
     trace = (match !found with Some st -> trace_of st | None -> []);
   }
+
+let run ?(max_states = 2_000_000) ?(inclusion = true) net target =
+  if max_states <= 0 then invalid_arg "Reach.run: max_states";
+  Obs.Span.with_ "ta.reach" (fun () -> run_impl ~max_states ~inclusion net target)
 
 let reachable ?max_states ?inclusion net target =
   match (run ?max_states ?inclusion net target).reachable with

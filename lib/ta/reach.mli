@@ -13,6 +13,9 @@ type stats = {
   states : int;  (** symbolic states expanded *)
   transitions : int;  (** discrete successors computed *)
   elapsed : float;
+  waiting_peak : int;  (** deepest the waiting queue ever got *)
+  inclusion_pruned : int;  (** successors covered by a larger passed zone *)
+  dedup_hits : int;  (** successors identical to a passed state *)
 }
 
 type trace_step = {

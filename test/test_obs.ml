@@ -1,0 +1,260 @@
+(* lib/obs: spans, metrics, reports, sinks, and the disabled path *)
+
+let fresh () =
+  Obs.Trace_ctx.disable ();
+  Obs.Trace_ctx.reset ();
+  Obs.Span.reset ();
+  Obs.Metric.reset ()
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* spans *)
+
+let test_span_nesting () =
+  fresh ();
+  Obs.Trace_ctx.enable ();
+  Obs.Span.with_ "root" (fun () ->
+      Obs.Span.with_ "child-a" (fun () ->
+          Obs.Span.with_ "grandchild" (fun () -> ()));
+      Obs.Span.with_ "child-b" (fun () -> ()));
+  let spans = Obs.Span.drain () in
+  check_int "four spans" 4 (List.length spans);
+  let find name =
+    List.find (fun (s : Obs.Span.record) -> s.Obs.Span.name = name) spans
+  in
+  let root = find "root" in
+  check_bool "root has no parent" true (root.Obs.Span.parent = None);
+  check_bool "child-a under root" true
+    ((find "child-a").Obs.Span.parent = Some root.Obs.Span.id);
+  check_bool "child-b under root" true
+    ((find "child-b").Obs.Span.parent = Some root.Obs.Span.id);
+  check_bool "grandchild under child-a" true
+    ((find "grandchild").Obs.Span.parent = Some (find "child-a").Obs.Span.id);
+  check_bool "drain clears" true (Obs.Span.drain () = [])
+
+let test_span_exception_safety () =
+  fresh ();
+  Obs.Trace_ctx.enable ();
+  (try
+     Obs.Span.with_ "outer" (fun () ->
+         Obs.Span.with_ "thrower" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  let spans = Obs.Span.drain () in
+  check_int "both spans finished" 2 (List.length spans);
+  (* a span started after the unwind nests at top level again *)
+  Obs.Span.with_ "after" (fun () -> ());
+  match Obs.Span.drain () with
+  | [ s ] -> check_bool "no stale parent" true (s.Obs.Span.parent = None)
+  | _ -> Alcotest.fail "expected one span"
+
+(* ------------------------------------------------------------------ *)
+(* metrics *)
+
+let test_histogram_percentiles () =
+  fresh ();
+  Obs.Trace_ctx.enable ();
+  let h = Obs.Metric.histogram "t.hist" in
+  (* 1..100 shuffled deterministically *)
+  List.iter
+    (fun i -> Obs.Metric.observe h (float_of_int ((i * 37 mod 100) + 1)))
+    (List.init 100 (fun i -> i));
+  Alcotest.(check (float 0.0)) "p50" 50. (Obs.Metric.percentile h 0.5);
+  Alcotest.(check (float 0.0)) "p90" 90. (Obs.Metric.percentile h 0.9);
+  Alcotest.(check (float 0.0)) "p99" 99. (Obs.Metric.percentile h 0.99);
+  Alcotest.(check (float 0.0)) "p100" 100. (Obs.Metric.percentile h 1.0);
+  check_bool "empty histogram is nan" true
+    (Float.is_nan (Obs.Metric.percentile (Obs.Metric.histogram "t.empty") 0.5))
+
+let test_counter_reentrancy () =
+  fresh ();
+  Obs.Trace_ctx.enable ();
+  let c = Obs.Metric.counter "t.counter" in
+  (* increments interleaved across re-entrant frames must all land *)
+  let rec recurse depth =
+    if depth > 0 then begin
+      Obs.Metric.incr c;
+      Obs.Span.with_ "frame" (fun () ->
+          Obs.Metric.incr c;
+          recurse (depth - 1));
+      Obs.Metric.incr c
+    end
+  in
+  recurse 100;
+  check_int "300 increments" 300 (Obs.Metric.value c);
+  check_bool "same name, same counter" true
+    (Obs.Metric.value (Obs.Metric.counter "t.counter") = 300);
+  Obs.Metric.add c (-300);
+  check_int "negative add" 0 (Obs.Metric.value c)
+
+let test_gauge_max () =
+  fresh ();
+  Obs.Trace_ctx.enable ();
+  let g = Obs.Metric.gauge "t.peak" in
+  check_bool "unset" true (Obs.Metric.gauge_value g = None);
+  Obs.Metric.set_max g 3.;
+  Obs.Metric.set_max g 7.;
+  Obs.Metric.set_max g 5.;
+  check_bool "peak kept" true (Obs.Metric.gauge_value g = Some 7.)
+
+(* ------------------------------------------------------------------ *)
+(* disabled mode *)
+
+let test_disabled_noop () =
+  fresh ();
+  (* everything below runs with the switch off *)
+  let c = Obs.Metric.counter "t.off.counter" in
+  Obs.Metric.incr c;
+  Obs.Metric.add c 42;
+  Obs.Metric.count "t.off.oneshot" 9;
+  Obs.Metric.set_gauge "t.off.gauge" 1.;
+  Obs.Metric.observe_value "t.off.hist" 1.;
+  let s = Obs.Span.start "t.off.span" in
+  Obs.Span.finish s;
+  Obs.Span.with_ "t.off.wrapped" (fun () -> ());
+  check_bool "span handle is none" true (s = Obs.Span.none);
+  check_int "counter untouched" 0 (Obs.Metric.value c);
+  check_bool "no spans recorded" true (Obs.Span.drain () = []);
+  check_bool "registry snapshot empty" true (Obs.Metric.snapshot () = []);
+  (* instrumented engines still compute correct results while disabled *)
+  let apps =
+    List.map
+      (fun (a : Casestudy.app) ->
+        Core.App.make ~name:a.Casestudy.name ~plant:a.Casestudy.plant
+          ~gains:a.Casestudy.gains ~r:a.Casestudy.r ~j_star:a.Casestudy.j_star ())
+      [ Casestudy.find "C6"; Casestudy.find "C2" ]
+  in
+  let r = Core.Dverify.verify (Core.Mapping.specs_of_group apps) in
+  check_bool "verdict unaffected" true (r.Core.Dverify.verdict = Core.Dverify.Safe);
+  check_bool "still nothing recorded" true (Obs.Metric.snapshot () = [])
+
+(* ------------------------------------------------------------------ *)
+(* reports: JSONL round-trip through a sink *)
+
+let test_jsonl_roundtrip () =
+  fresh ();
+  Obs.Trace_ctx.enable ();
+  Obs.Span.with_ "root" (fun () -> Obs.Span.with_ "inner" (fun () -> ()));
+  Obs.Metric.count "t.states" 123;
+  Obs.Metric.set_gauge "t.rate" 456.5;
+  List.iter (fun v -> Obs.Metric.observe_value "t.lat" (float_of_int v)) [ 1; 2; 3; 4 ];
+  let report = Obs.Report.collect ~command:"test \"quoted\"" () in
+  let path = Filename.temp_file "obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sink = Obs.Sink.jsonl ~path in
+      Obs.Sink.emit sink report;
+      Obs.Sink.emit sink report;
+      let lines =
+        In_channel.with_open_text path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      check_int "one line per emit" 2 (List.length lines);
+      match
+        Result.bind
+          (Obs.Report.json_of_string (List.nth lines 1))
+          Obs.Report.of_json
+      with
+      | Error m -> Alcotest.fail ("round-trip failed: " ^ m)
+      | Ok r ->
+        Alcotest.(check string) "command" report.Obs.Report.command r.Obs.Report.command;
+        check_int "span count" 2 (List.length r.Obs.Report.spans);
+        check_bool "metrics preserved" true
+          (r.Obs.Report.metrics = report.Obs.Report.metrics);
+        let inner =
+          List.find
+            (fun (s : Obs.Span.record) -> s.Obs.Span.name = "inner")
+            r.Obs.Report.spans
+        in
+        let root =
+          List.find
+            (fun (s : Obs.Span.record) -> s.Obs.Span.name = "root")
+            r.Obs.Report.spans
+        in
+        check_bool "nesting preserved" true
+          (inner.Obs.Span.parent = Some root.Obs.Span.id))
+
+let test_json_parser () =
+  let ok s = Result.is_ok (Obs.Report.json_of_string s) in
+  check_bool "object" true (ok {|{"a": [1, 2.5, null, true, "x\n"]}|});
+  check_bool "nested" true (ok {|[[{"k":{"v":[-1e-3]}}]]|});
+  check_bool "trailing garbage rejected" false (ok "{}{}");
+  check_bool "unterminated rejected" false (ok {|{"a": 1|});
+  check_bool "bare word rejected" false (ok "states");
+  (* escapes survive a print/parse cycle *)
+  let j = Obs.Report.String "a\"b\\c\nd\te" in
+  check_bool "string round-trip" true
+    (Obs.Report.json_of_string (Obs.Report.json_to_string j) = Ok j)
+
+(* ------------------------------------------------------------------ *)
+(* instrumentation of the engines *)
+
+let find_counter name metrics =
+  List.find_map
+    (function
+      | Obs.Metric.Counter (n, v) when n = name -> Some v
+      | _ -> None)
+    metrics
+
+let test_engine_metrics () =
+  fresh ();
+  Obs.Trace_ctx.enable ();
+  let apps =
+    List.map
+      (fun (a : Casestudy.app) ->
+        Core.App.make ~name:a.Casestudy.name ~plant:a.Casestudy.plant
+          ~gains:a.Casestudy.gains ~r:a.Casestudy.r ~j_star:a.Casestudy.j_star ())
+      [ Casestudy.find "C6"; Casestudy.find "C2" ]
+  in
+  let specs = Core.Mapping.specs_of_group apps in
+  let dr = Core.Dverify.verify specs in
+  let tr = Core.Ta_model.verify ~inclusion:false specs in
+  let report = Obs.Report.collect ~command:"engines" () in
+  let m = report.Obs.Report.metrics in
+  check_bool "dverify.states matches stats" true
+    (find_counter "dverify.states" m
+    = Some dr.Core.Dverify.stats.Core.Dverify.states);
+  check_bool "ta.reach.states matches stats" true
+    (find_counter "ta.reach.states" m
+    = Some tr.Core.Ta_model.stats.Ta.Reach.states);
+  check_bool "ta stats track dedup hits" true
+    (tr.Core.Ta_model.stats.Ta.Reach.dedup_hits > 0);
+  check_bool "ta stats track waiting peak" true
+    (tr.Core.Ta_model.stats.Ta.Reach.waiting_peak > 0);
+  check_bool "dwell simulations counted" true
+    (match find_counter "dwell.simulations" m with
+     | Some n -> n > 0
+     | None -> false);
+  check_bool "spans include both engines" true
+    (List.exists (fun (s : Obs.Span.record) -> s.Obs.Span.name = "dverify")
+       report.Obs.Report.spans
+    && List.exists (fun (s : Obs.Span.record) -> s.Obs.Span.name = "ta.reach")
+         report.Obs.Report.spans)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+        ] );
+      ( "metric",
+        [
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "counter re-entrancy" `Quick test_counter_reentrancy;
+          Alcotest.test_case "gauge max" `Quick test_gauge_max;
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "no-op everywhere" `Quick test_disabled_noop ] );
+      ( "report",
+        [
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "json parser" `Quick test_json_parser;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "engine metrics" `Quick test_engine_metrics ] );
+    ]
