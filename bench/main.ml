@@ -292,7 +292,8 @@ let verify_times () =
     Printf.printf "  %-28s %-6s %9d states %9d trans %8.2f s\n" label
       (match r.Core.Dverify.verdict with
        | Core.Dverify.Safe -> "safe"
-       | Core.Dverify.Unsafe _ -> "unsafe")
+       | Core.Dverify.Unsafe _ -> "unsafe"
+       | Core.Dverify.Undetermined _ -> "undec")
       r.Core.Dverify.stats.Core.Dverify.states
       r.Core.Dverify.stats.Core.Dverify.transitions
       r.Core.Dverify.stats.Core.Dverify.elapsed;
@@ -301,9 +302,10 @@ let verify_times () =
   let ta_describe label specs =
     let r = Core.Ta_model.verify ~inclusion:false specs in
     Printf.printf "  %-28s %-6s %9d states %9s %8.2f s\n" label
-      (if not r.Core.Ta_model.decided then "undec"
-       else if r.Core.Ta_model.safe then "safe"
-       else "unsafe")
+      (match r.Core.Ta_model.outcome with
+       | `Safe -> "safe"
+       | `Unsafe -> "unsafe"
+       | `Undetermined _ -> "undec")
       r.Core.Ta_model.stats.Ta.Reach.states ""
       r.Core.Ta_model.stats.Ta.Reach.elapsed
   in
@@ -405,6 +407,7 @@ let preemption_ablation () =
         match (Core.Dverify.verify ~policy specs).Core.Dverify.verdict with
         | Core.Dverify.Safe -> "safe"
         | Core.Dverify.Unsafe _ -> "UNSAFE"
+        | Core.Dverify.Undetermined _ -> "undec"
       in
       Printf.printf "%-22s %-10s %-10s\n"
         ("{" ^ String.concat "," names ^ "}")
@@ -451,6 +454,8 @@ let preemption_ablation () =
     with
     | Core.Dverify.Safe -> `Safe
     | Core.Dverify.Unsafe _ -> `Unsafe
+    | Core.Dverify.Undetermined r ->
+      `Undetermined (Format.asprintf "%a" Core.Dverify.pp_reason r)
   in
   let o = Core.Mapping.first_fit ~verifier:lazy_verifier (Lazy.force apps) in
   Printf.printf
@@ -691,6 +696,61 @@ let obs_snapshot () =
       Format.printf "%a@." Obs.Report.pp report;
       print_endline "wrote BENCH_obs.json")
 
+(* ------------------------------------------------------------------ *)
+(* Fault-campaign snapshot: a fixed-seed blackout campaign over the
+   dimensioned slot groups, written to BENCH_faults.json.  The campaign
+   is a pure function of (spec, seed, runs, horizon, slots), so the
+   violation counts are exact regression anchors: a change in any of
+   them means the fault path, the monitor, or the scheduler semantics
+   moved. *)
+
+let faults_snapshot () =
+  section "X9" "Fault-campaign snapshot — BENCH_faults.json (fixed seed 42)";
+  let spec =
+    match Faults.Spec.parse "blackout:p=0.02,len=4" with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let slots =
+    [
+      List.map find_app [ "C1"; "C5"; "C4"; "C3" ];
+      List.map find_app [ "C6"; "C2" ];
+    ]
+  in
+  Obs.Metric.reset ();
+  Obs.Span.reset ();
+  Obs.Trace_ctx.reset ();
+  Obs.Trace_ctx.enable ();
+  Fun.protect ~finally:Obs.Trace_ctx.disable (fun () ->
+      (match
+         Cosim.Campaign.run ~spec ~seed:42L ~runs:10 ~horizon:300 slots
+       with
+      | Error e -> failwith e
+      | Ok summary ->
+        Obs.Metric.set_gauge "bench.faults.total_violations"
+          (float_of_int summary.Cosim.Campaign.total_violations);
+        List.iter
+          (fun (g : Cosim.Campaign.slot_summary) ->
+            let slot = String.concat "," g.Cosim.Campaign.apps in
+            let gauge kind v =
+              Obs.Metric.set_gauge
+                (Printf.sprintf "bench.faults.%s.%s" slot kind)
+                (float_of_int v)
+            in
+            gauge "clean_runs" g.Cosim.Campaign.clean_runs;
+            gauge "j_star" g.Cosim.Campaign.j_star;
+            gauge "wait" g.Cosim.Campaign.wait;
+            gauge "dwell" g.Cosim.Campaign.dwell;
+            gauge "blackout_samples" g.Cosim.Campaign.blackout_samples)
+          summary.Cosim.Campaign.slots;
+        Format.printf "%a@." Cosim.Campaign.pp summary);
+      let report = Obs.Report.collect ~command:"bench-faults" () in
+      let oc = open_out "BENCH_faults.json" in
+      output_string oc (Obs.Report.json_to_string (Obs.Report.to_json report));
+      output_char oc '\n';
+      close_out oc;
+      print_endline "wrote BENCH_faults.json")
+
 let () =
   fig2 ();
   fig3 ();
@@ -709,4 +769,5 @@ let () =
   fleet_scalability ();
   microbench ();
   obs_snapshot ();
+  faults_snapshot ();
   print_newline ()

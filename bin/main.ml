@@ -52,49 +52,57 @@ let tables_cmd_run names =
 (* ------------------------------------------------------------------ *)
 (* verify *)
 
-let verify_cmd_run engine bound names =
+(* exit codes: 0 = safe, 2 = unsafe, 3 = undetermined (budget ran out) *)
+let verify_cmd_run engine bound deadline names =
   match parse_apps names with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok [] -> prerr_endline "verify: give at least one application"; 1
   | Ok apps ->
     let specs = Core.Mapping.specs_of_group apps in
     Obs.Span.with_ "model-check" @@ fun () ->
+    let discrete_exit (r : Core.Dverify.result) =
+      match r.Core.Dverify.verdict with
+      | Core.Dverify.Safe -> 0
+      | Core.Dverify.Unsafe ce ->
+        Format.printf "%a@." (Core.Dverify.pp_counterexample specs) ce;
+        2
+      | Core.Dverify.Undetermined _ -> 3
+    in
     (match engine with
      | `Discrete | `Bfs ->
        let mode = if engine = `Bfs then `Bfs else `Subsumption in
-       let r = Core.Dverify.verify ~mode specs in
+       let r = Core.Dverify.verify ~mode ?deadline specs in
        Format.printf "%a@.states=%d transitions=%d elapsed=%.2fs@."
          (Core.Dverify.pp_verdict specs) r.Core.Dverify.verdict
          r.Core.Dverify.stats.Core.Dverify.states
          r.Core.Dverify.stats.Core.Dverify.transitions
          r.Core.Dverify.stats.Core.Dverify.elapsed;
-       (match r.Core.Dverify.verdict with
-        | Core.Dverify.Safe -> 0
-        | Core.Dverify.Unsafe ce ->
-          Format.printf "%a@." (Core.Dverify.pp_counterexample specs) ce;
-          2)
+       discrete_exit r
      | `Bounded ->
-       let r = Core.Dverify.verify_bounded ~instances:bound specs in
+       let r = Core.Dverify.verify_bounded ?deadline ~instances:bound specs in
        Format.printf "%a (bounded, %d instances/app)@.states=%d elapsed=%.2fs@."
          (Core.Dverify.pp_verdict specs) r.Core.Dverify.verdict bound
          r.Core.Dverify.stats.Core.Dverify.states
          r.Core.Dverify.stats.Core.Dverify.elapsed;
-       (match r.Core.Dverify.verdict with Core.Dverify.Safe -> 0 | _ -> 2)
+       (match r.Core.Dverify.verdict with
+        | Core.Dverify.Safe -> 0
+        | Core.Dverify.Unsafe _ -> 2
+        | Core.Dverify.Undetermined _ -> 3)
      | `Ta ->
-       let r = Core.Ta_model.verify specs in
-       if not r.Core.Ta_model.decided then begin
-         Format.printf "undecided: state cap reached (%d symbolic states)@."
-           r.Core.Ta_model.stats.Ta.Reach.states;
-         3
-       end
-       else begin
-         Format.printf "%s@.symbolic states=%d elapsed=%.2fs@."
-           (if r.Core.Ta_model.safe then "safe: Error location unreachable"
-            else "unsafe: Error location reachable")
-           r.Core.Ta_model.stats.Ta.Reach.states
-           r.Core.Ta_model.stats.Ta.Reach.elapsed;
-         if r.Core.Ta_model.safe then 0 else 2
-       end)
+       let r = Core.Ta_model.verify ?deadline specs in
+       (match r.Core.Ta_model.outcome with
+        | `Undetermined reason ->
+          Format.printf "undetermined: %a (%d symbolic states)@."
+            Ta.Reach.pp_budget_reason reason
+            r.Core.Ta_model.stats.Ta.Reach.states;
+          3
+        | (`Safe | `Unsafe) as o ->
+          Format.printf "%s@.symbolic states=%d elapsed=%.2fs@."
+            (if o = `Safe then "safe: Error location unreachable"
+             else "unsafe: Error location reachable")
+            r.Core.Ta_model.stats.Ta.Reach.states
+            r.Core.Ta_model.stats.Ta.Reach.elapsed;
+          if o = `Safe then 0 else 2))
 
 (* ------------------------------------------------------------------ *)
 (* map *)
@@ -148,7 +156,7 @@ let write_csv_opt csv contents =
      | Ok () -> Format.printf "wrote %s@." path; 0
      | Error m -> prerr_endline m; 1)
 
-let simulate_cmd_run names disturbances horizon stride csv =
+let simulate_cmd_run names disturbances horizon stride csv faults seed monitor =
   match parse_apps names with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok [] -> prerr_endline "simulate: give at least one application"; 1
@@ -163,29 +171,98 @@ let simulate_cmd_run names disturbances horizon stride csv =
      with
      | exception _ -> prerr_endline "simulate: bad -d (use SAMPLE:APP)"; 1
      | ds ->
-       let scenario = Cosim.Scenario.make ~apps ~disturbances:ds ~horizon in
-       let trace = Cosim.Engine.run scenario in
-       let csv_rc = write_csv_opt csv (Cosim.Export.trace_csv trace) in
-       if csv_rc <> 0 then csv_rc
-       else begin
-       List.iter print_endline (Cosim.Trace.to_rows trace ~stride);
-       print_newline ();
-       List.iter print_endline (Cosim.Trace.to_gantt trace);
-       Format.printf "requirements met: %b@."
-         (Cosim.Trace.meets_requirements trace apps);
-       List.iter
-         (fun (sample, id) ->
-           match Cosim.Trace.settling_after trace ~id ~sample with
-           | Some j ->
-             Format.printf "%s disturbed at %d: J = %d samples (%.2fs)@."
-               trace.Cosim.Trace.names.(id) sample j
-               (float_of_int j *. trace.Cosim.Trace.h)
-           | None ->
-             Format.printf "%s disturbed at %d: no settling in horizon@."
-               trace.Cosim.Trace.names.(id) sample)
-         trace.Cosim.Trace.disturbances;
-       0
-       end)
+       let plan =
+         match faults with
+         | None -> Ok None
+         | Some s ->
+           Result.bind (Faults.Spec.parse s) (fun spec ->
+               let app_rs =
+                 Array.of_list
+                   (List.map
+                      (fun (a : Core.App.t) -> (a.Core.App.name, a.Core.App.r))
+                      apps)
+               in
+               Result.map Option.some
+                 (Faults.Plan.materialize ~spec ~seed:(Int64.of_int seed)
+                    ~apps:app_rs ~horizon))
+       in
+       (match plan with
+        | Error m -> Printf.eprintf "simulate: --faults: %s\n" m; 1
+        | Ok plan ->
+          let scenario = Cosim.Scenario.make ~apps ~disturbances:ds ~horizon in
+          let trace, summary =
+            Cosim.Engine.run_with_faults ?plan scenario
+          in
+          let csv_rc = write_csv_opt csv (Cosim.Export.trace_csv trace) in
+          if csv_rc <> 0 then csv_rc
+          else begin
+            List.iter print_endline (Cosim.Trace.to_rows trace ~stride);
+            print_newline ();
+            List.iter print_endline (Cosim.Trace.to_gantt trace);
+            if plan <> None then
+              Format.printf
+                "faults: %d blackout sample(s), %d ET loss(es), %d sensor \
+                 drop(s), %d eviction(s), %d suppressed arrival(s)@."
+                summary.Cosim.Engine.blackout_samples
+                summary.Cosim.Engine.et_losses
+                summary.Cosim.Engine.sensor_drops
+                (List.length summary.Cosim.Engine.denied)
+                (List.length summary.Cosim.Engine.suppressed);
+            Format.printf "requirements met: %b@."
+              (Cosim.Trace.meets_requirements trace apps);
+            List.iter
+              (fun (sample, id) ->
+                match Cosim.Trace.settling_after trace ~id ~sample with
+                | Some j ->
+                  Format.printf "%s disturbed at %d: J = %d samples (%.2fs)@."
+                    trace.Cosim.Trace.names.(id) sample j
+                    (float_of_int j *. trace.Cosim.Trace.h)
+                | None ->
+                  Format.printf "%s disturbed at %d: no settling in horizon@."
+                    trace.Cosim.Trace.names.(id) sample)
+              trace.Cosim.Trace.disturbances;
+            if not monitor then 0
+            else begin
+              let report = Cosim.Monitor.check ~summary ~apps trace in
+              Format.printf "@.%a@." Cosim.Monitor.pp report;
+              if report.Cosim.Monitor.ok then 0 else 2
+            end
+          end))
+
+(* ------------------------------------------------------------------ *)
+(* stress *)
+
+(* Fault-injection campaign over the verified slot mapping.  Exit code
+   reports infrastructure failures only: finding guarantee violations
+   under injected faults is the purpose, not an error.  The output is a
+   pure function of (spec, seed, runs, horizon) — no wall-clock
+   quantities are printed — so two runs with the same arguments must be
+   byte-identical. *)
+let stress_cmd_run names spec seed runs horizon =
+  let names =
+    if names = [] then [ "C1"; "C2"; "C3"; "C4"; "C5"; "C6" ] else names
+  in
+  match parse_apps names with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok apps ->
+    (match Faults.Spec.parse spec with
+     | Error m -> Printf.eprintf "stress: --spec: %s\n" m; 1
+     | Ok spec ->
+       let mapping = Core.Mapping.first_fit apps in
+       Format.printf "%a@.@." Core.Mapping.pp mapping;
+       let slots =
+         List.map
+           (fun s -> s.Core.Mapping.apps)
+           mapping.Core.Mapping.slots
+       in
+       (match
+          Cosim.Campaign.run ~spec ~seed:(Int64.of_int seed) ~runs ~horizon
+            slots
+        with
+        | Error m -> Printf.eprintf "stress: %s\n" m; 1
+        | Ok summary ->
+          Format.printf "%a@." Cosim.Campaign.pp summary;
+          0))
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
@@ -396,12 +473,22 @@ let engine_arg =
 let bound_arg =
   Arg.(value & opt int 2 & info [ "k"; "instances" ] ~doc:"Disturbance instances per app for -e bounded.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the search; when it runs out the verdict is \
+           explicitly undetermined (exit code 3) instead of safe/unsafe.")
+
 let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Model-check a slot group")
     (with_obs "verify"
        Term.(
-         const (fun engine bound names () -> verify_cmd_run engine bound names)
-         $ engine_arg $ bound_arg $ names_arg))
+         const (fun engine bound deadline names () ->
+             verify_cmd_run engine bound deadline names)
+         $ engine_arg $ bound_arg $ deadline_arg $ names_arg))
 
 let baseline_arg =
   Arg.(value & flag & info [ "b"; "baseline" ] ~doc:"Also run the DATE'12 baseline packing.")
@@ -428,13 +515,63 @@ let stride_arg =
 let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the data as CSV.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault-injection spec: ';'-separated clauses among \
+           blackout:A-B, blackout:p=P[,len=L], loss:APP\\@K, \
+           loss:APP\\@p=P, drop:APP\\@K, drop:APP\\@p=P, \
+           burst:APP\\@S[xN].  Random clauses draw from --seed.")
+
+let sim_seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed for random fault clauses.")
+
+let monitor_arg =
+  Arg.(
+    value & flag
+    & info [ "monitor" ]
+        ~doc:
+          "Check the trace against the verified guarantees (J*, T*_w, dwell \
+           tables); any violation exits 2.")
+
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Co-simulate a slot group")
     (with_obs "simulate"
        Term.(
-         const (fun names ds horizon stride csv () ->
-             simulate_cmd_run names ds horizon stride csv)
-         $ names_arg $ disturbances_arg $ horizon_arg $ stride_arg $ csv_arg))
+         const (fun names ds horizon stride csv faults seed monitor () ->
+             simulate_cmd_run names ds horizon stride csv faults seed monitor)
+         $ names_arg $ disturbances_arg $ horizon_arg $ stride_arg $ csv_arg
+         $ faults_arg $ sim_seed_arg $ monitor_arg))
+
+let stress_spec_arg =
+  Arg.(
+    value
+    & opt string "blackout:p=0.02,len=4"
+    & info [ "spec" ] ~docv:"SPEC"
+        ~doc:"Fault spec applied to every run (same grammar as simulate --faults).")
+
+let runs_arg =
+  Arg.(value & opt int 20 & info [ "runs" ] ~doc:"Monitored runs per slot group.")
+
+let stress_horizon_arg =
+  Arg.(value & opt int 600 & info [ "horizon" ] ~doc:"Samples per run.")
+
+let stress_cmd =
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Seeded fault-injection campaign over the first-fit mapping: \
+          randomized admissible disturbances plus injected faults, every run \
+          checked by the guarantee monitor")
+    (with_obs "stress"
+       Term.(
+         const (fun names spec seed runs horizon () ->
+             stress_cmd_run names spec seed runs horizon)
+         $ names_arg $ stress_spec_arg $ sim_seed_arg $ runs_arg
+         $ stress_horizon_arg))
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Application name.")
@@ -513,4 +650,4 @@ let () =
     Cmd.info "cpsdim" ~version:"1.0.0"
       ~doc:"Tighter dimensioning of TT slots with control performance guarantees"
   in
-  exit (Cmd.eval' (Cmd.group ~default info [ tables_cmd; verify_cmd; map_cmd; simulate_cmd; sweep_cmd; flexray_cmd; design_cmd; fleet_cmd; uppaal_cmd; margins_cmd; report_cmd ]))
+  exit (Cmd.eval' (Cmd.group ~default info [ tables_cmd; verify_cmd; map_cmd; simulate_cmd; stress_cmd; sweep_cmd; flexray_cmd; design_cmd; fleet_cmd; uppaal_cmd; margins_cmd; report_cmd ]))

@@ -53,7 +53,7 @@ let () =
       | Core.Dverify.Safe ->
         Format.printf "  %d copies: safe@." (List.length candidate);
         grow candidate (k + 1)
-      | Core.Dverify.Unsafe _ ->
+      | Core.Dverify.Unsafe _ | Core.Dverify.Undetermined _ ->
         Format.printf "  %d copies: UNSAFE@." (List.length candidate);
         group
     end

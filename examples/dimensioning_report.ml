@@ -47,6 +47,7 @@ let () =
   let specs = Core.Mapping.specs_of_group overfull in
   (match (Core.Dverify.verify specs).Core.Dverify.verdict with
    | Core.Dverify.Safe -> Format.printf "unexpectedly safe?!@."
+   | Core.Dverify.Undetermined _ -> Format.printf "unexpectedly undetermined?!@."
    | Core.Dverify.Unsafe ce ->
      Format.printf "%a@." (Core.Dverify.pp_counterexample specs) ce);
 

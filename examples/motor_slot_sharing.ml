@@ -21,7 +21,8 @@ let () =
   let specs = Core.Mapping.specs_of_group apps in
   (match (Core.Dverify.verify specs).Core.Dverify.verdict with
    | Core.Dverify.Safe -> Format.printf "group {C1,C5,C4,C3} verified safe@.@."
-   | Core.Dverify.Unsafe _ -> failwith "unexpected: paper group unsafe");
+   | Core.Dverify.Unsafe _ | Core.Dverify.Undetermined _ ->
+     failwith "unexpected: paper group unsafe");
 
   let scenario =
     Cosim.Scenario.make ~apps

@@ -1,9 +1,15 @@
-type verdict = Safe | Unsafe of counterexample
+type reason = Deadline of float | State_budget of int
+
+type verdict = Safe | Unsafe of counterexample | Undetermined of reason
 
 and counterexample = {
   steps : (int list * Sched.Slot_state.t) list;
   failing : int list;
 }
+
+let pp_reason ppf = function
+  | Deadline d -> Format.fprintf ppf "wall-clock deadline (%.3fs) exceeded" d
+  | State_budget n -> Format.fprintf ppf "state budget (%d) exhausted" n
 
 type stats = {
   states : int;
@@ -94,7 +100,7 @@ let deep_mem tbl k = Deep_tbl.mem tbl (Obj.repr k)
 let deep_add tbl k v = Deep_tbl.replace tbl (Obj.repr k) v
 let deep_find_opt tbl k = Deep_tbl.find_opt tbl (Obj.repr k)
 
-let explore_impl ~policy ~subsume ~instances specs =
+let explore_impl ~policy ~subsume ~instances ~deadline ~max_states specs =
   let t0 = Unix.gettimeofday () in
   let prune_hits = ref 0 and waiting_peak = ref 0 in
   let n = Array.length specs in
@@ -172,8 +178,26 @@ let explore_impl ~policy ~subsume ~instances specs =
   Queue.add initial queue;
   let states = ref 1 and transitions = ref 0 in
   let verdict = ref Safe in
+  (* the state budget is checked on every pop; wall-clock checks are
+     amortised so the syscall does not dominate cheap expansions *)
+  let pops = ref 0 in
+  let over_budget () =
+    (match max_states with
+     | Some cap when !states >= cap ->
+       verdict := Undetermined (State_budget cap);
+       true
+     | _ -> false)
+    ||
+    match deadline with
+    | Some d when !pops land 1023 = 0 && Unix.gettimeofday () -. t0 > d ->
+      verdict := Undetermined (Deadline d);
+      true
+    | _ -> false
+  in
   (try
      while not (Queue.is_empty queue) do
+       incr pops;
+       if over_budget () then raise Exit;
        let node = Queue.pop queue in
        let available =
          let steady = disturbable_ids specs node.st in
@@ -218,6 +242,9 @@ let explore_impl ~policy ~subsume ~instances specs =
     Obs.Metric.count "dverify.transitions" !transitions;
     Obs.Metric.count "dverify.prune_hits" !prune_hits;
     Obs.Metric.max_gauge "dverify.waiting_peak" (float_of_int !waiting_peak);
+    (match !verdict with
+     | Undetermined _ -> Obs.Metric.count "dverify.undetermined" 1
+     | Safe | Unsafe _ -> ());
     if elapsed > 0. then
       Obs.Metric.max_gauge "dverify.states_per_sec"
         (float_of_int !states /. elapsed)
@@ -227,19 +254,29 @@ let explore_impl ~policy ~subsume ~instances specs =
     stats = { states = !states; transitions = !transitions; elapsed; max_wait };
   }
 
-let explore ~policy ~subsume ~instances specs =
+let explore ~policy ~subsume ~instances ?deadline ?max_states specs =
+  (match deadline with
+   | Some d when d <= 0. -> invalid_arg "Dverify: deadline must be positive"
+   | _ -> ());
+  (match max_states with
+   | Some n when n < 1 -> invalid_arg "Dverify: max_states must be positive"
+   | _ -> ());
   Obs.Span.with_ "dverify" (fun () ->
-      explore_impl ~policy ~subsume ~instances specs)
+      explore_impl ~policy ~subsume ~instances ~deadline ~max_states specs)
 
 let verify ?(policy = Sched.Slot_state.Eager_preempt) ?(mode = `Subsumption)
-    specs =
+    ?deadline ?max_states specs =
   match mode with
-  | `Bfs -> explore ~policy ~subsume:false ~instances:None specs
-  | `Subsumption -> explore ~policy ~subsume:true ~instances:None specs
+  | `Bfs ->
+    explore ~policy ~subsume:false ~instances:None ?deadline ?max_states specs
+  | `Subsumption ->
+    explore ~policy ~subsume:true ~instances:None ?deadline ?max_states specs
 
-let verify_bounded ?(policy = Sched.Slot_state.Eager_preempt) ~instances specs =
+let verify_bounded ?(policy = Sched.Slot_state.Eager_preempt) ?deadline
+    ?max_states ~instances specs =
   if instances < 1 then invalid_arg "Dverify.verify_bounded: instances < 1";
-  explore ~policy ~subsume:true ~instances:(Some instances) specs
+  explore ~policy ~subsume:true ~instances:(Some instances) ?deadline
+    ?max_states specs
 
 let pp_counterexample specs ppf (ce : counterexample) =
   Format.fprintf ppf "@[<v>";
@@ -267,3 +304,5 @@ let pp_verdict specs ppf = function
       (String.concat ", "
          (List.map (fun id -> specs.(id).Sched.Appspec.name) failing))
       (List.length steps)
+  | Undetermined reason ->
+    Format.fprintf ppf "undetermined: %a" pp_reason reason

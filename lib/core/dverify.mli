@@ -22,7 +22,16 @@
     - {!verify_bounded} — the paper's Sec. 5 acceleration: each
       application is limited to [k] disturbance instances. *)
 
-type verdict = Safe | Unsafe of counterexample
+type reason =
+  | Deadline of float  (** wall-clock budget, seconds *)
+  | State_budget of int
+
+type verdict =
+  | Safe
+  | Unsafe of counterexample
+  | Undetermined of reason
+      (** a budget ran out before the reachable space was covered; the
+          group is neither proved safe nor shown unsafe *)
 
 and counterexample = {
   steps : (int list * Sched.Slot_state.t) list;
@@ -48,15 +57,23 @@ type result = { verdict : verdict; stats : stats }
 val verify :
   ?policy:Sched.Slot_state.policy ->
   ?mode:[ `Bfs | `Subsumption ] ->
+  ?deadline:float ->
+  ?max_states:int ->
   Sched.Appspec.t array ->
   result
 (** Exhaustive verification (default mode [`Subsumption], default
     policy {!Sched.Slot_state.Eager_preempt}).  Pass
     [~policy:Lazy_preempt] to check the paper's concluding-remarks
-    variant that postpones preemption. *)
+    variant that postpones preemption.  [deadline] (wall-clock seconds,
+    checked every 1024 expansions) and [max_states] bound the search;
+    when either runs out the verdict is {!Undetermined} — never a
+    silent [Safe].
+    @raise Invalid_argument when [deadline <= 0] or [max_states < 1]. *)
 
 val verify_bounded :
   ?policy:Sched.Slot_state.policy ->
+  ?deadline:float ->
+  ?max_states:int ->
   instances:int ->
   Sched.Appspec.t array ->
   result
@@ -66,6 +83,7 @@ val verify_bounded :
     bound computed from coinciding-disturbance counting is sufficient
     for its case study). *)
 
+val pp_reason : Format.formatter -> reason -> unit
 val pp_verdict : Sched.Appspec.t array -> Format.formatter -> verdict -> unit
 
 val pp_counterexample :

@@ -1,8 +1,10 @@
-type verifier = Sched.Appspec.t array -> [ `Safe | `Unsafe ]
+type verdict = [ `Safe | `Unsafe | `Undetermined of string ]
+
+type verifier = Sched.Appspec.t array -> verdict
 
 type slot = { index : int; apps : App.t list }
 
-type outcome = { slots : slot list; verifications : int }
+type outcome = { slots : slot list; verifications : int; undetermined : int }
 
 let t_dw_min_star (a : App.t) =
   Array.fold_left Int.max 0 a.App.table.Dwell.t_dw_min
@@ -14,10 +16,48 @@ let sort_order apps =
 let specs_of_group group =
   Array.of_list (List.mapi (fun i a -> App.spec a ~id:i) group)
 
-let default_verifier specs =
+let default_verifier specs : verdict =
   match (Dverify.verify ~mode:`Subsumption specs).Dverify.verdict with
   | Dverify.Safe -> `Safe
   | Dverify.Unsafe _ -> `Unsafe
+  | Dverify.Undetermined reason ->
+    `Undetermined (Format.asprintf "%a" Dverify.pp_reason reason)
+
+(* graceful-degradation verifier: exact subsumption first; when its
+   budget runs out, retry with the paper's bounded-instance
+   acceleration.  A bounded counterexample is a real counterexample, so
+   bounded-Unsafe is definitive; bounded-Safe is only an
+   under-approximation and stays Undetermined unless the caller opts
+   into accepting it. *)
+let escalating ?stage_deadline ?max_states ?(instances = 2)
+    ?(accept_bounded = false) () specs : verdict =
+  match
+    (Dverify.verify ~mode:`Subsumption ?deadline:stage_deadline ?max_states
+       specs)
+      .Dverify.verdict
+  with
+  | Dverify.Safe -> `Safe
+  | Dverify.Unsafe _ -> `Unsafe
+  | Dverify.Undetermined exact_reason -> (
+    if Obs.Trace_ctx.enabled () then Obs.Metric.count "mapping.escalations" 1;
+    match
+      (Dverify.verify_bounded ?deadline:stage_deadline ?max_states ~instances
+         specs)
+        .Dverify.verdict
+    with
+    | Dverify.Unsafe _ -> `Unsafe
+    | Dverify.Safe when accept_bounded -> `Safe
+    | Dverify.Safe ->
+      `Undetermined
+        (Format.asprintf
+           "exact search gave up (%a); bounded search (%d instances) found no \
+            error but is an under-approximation"
+           Dverify.pp_reason exact_reason instances)
+    | Dverify.Undetermined bounded_reason ->
+      `Undetermined
+        (Format.asprintf "exact: %a; bounded (%d instances): %a"
+           Dverify.pp_reason exact_reason instances Dverify.pp_reason
+           bounded_reason))
 
 (* a verifier call with its latency fed to the per-group histogram *)
 let checked_verdict verifier specs =
@@ -33,11 +73,18 @@ let checked_verdict verifier specs =
 let first_fit ?(verifier = default_verifier) ?(presorted = false) apps =
   Obs.Span.with_ "mapping.first_fit" @@ fun () ->
   let apps = if presorted then apps else sort_order apps in
-  let count = ref 0 in
+  let count = ref 0 and undetermined = ref 0 in
   let fits group app =
     incr count;
     Obs.Metric.count "mapping.groups_tried" 1;
-    checked_verdict verifier (specs_of_group (group @ [ app ])) = `Safe
+    (* an undetermined group is conservatively treated as not fitting:
+       the mapping only ever packs groups proved safe *)
+    match checked_verdict verifier (specs_of_group (group @ [ app ])) with
+    | `Safe -> true
+    | `Unsafe -> false
+    | `Undetermined _ ->
+      incr undetermined;
+      false
   in
   let place slots app =
     let rec go = function
@@ -52,11 +99,14 @@ let first_fit ?(verifier = default_verifier) ?(presorted = false) apps =
   {
     slots = List.mapi (fun index apps -> { index; apps }) groups;
     verifications = !count;
+    undetermined = !undetermined;
   }
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>%d slot(s), %d verification(s)@,%a@]"
+  Format.fprintf ppf "@[<v>%d slot(s), %d verification(s)%s@,%a@]"
     (List.length t.slots) t.verifications
+    (if t.undetermined = 0 then ""
+     else Printf.sprintf " (%d undetermined, treated unsafe)" t.undetermined)
     (Format.pp_print_list (fun ppf slot ->
          Format.fprintf ppf "S%d: {%s}" (slot.index + 1)
            (String.concat ", " (List.map (fun a -> a.App.name) slot.apps))))
@@ -72,16 +122,18 @@ let optimal ?(verifier = default_verifier) apps =
   Obs.Span.with_ "mapping.optimal" @@ fun () ->
   let apps = Array.of_list apps in
   let n = Array.length apps in
-  if n = 0 then { slots = []; verifications = 0 }
+  if n = 0 then { slots = []; verifications = 0; undetermined = 0 }
   else if n > 16 then invalid_arg "Mapping.optimal: too many applications"
   else begin
     let full = (1 lsl n) - 1 in
     let members mask =
       List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n (fun i -> i))
     in
-    let count = ref 0 in
+    let count = ref 0 and undetermined = ref 0 in
     let safety = Array.make (full + 1) `Unknown in
-    (* memoised, monotone-pruned safety of a subset *)
+    (* memoised, monotone-pruned safety of a subset; an undetermined
+       verdict is cached as unsafe — conservative: no group joins a
+       slot without a safety proof *)
     let rec safe mask =
       match safety.(mask) with
       | `Safe -> true
@@ -103,7 +155,12 @@ let optimal ?(verifier = default_verifier) apps =
           else begin
             incr count;
             let group = List.map (fun i -> apps.(i)) ids in
-            checked_verdict verifier (specs_of_group group) = `Safe
+            match checked_verdict verifier (specs_of_group group) with
+            | `Safe -> true
+            | `Unsafe -> false
+            | `Undetermined _ ->
+              incr undetermined;
+              false
           end
         in
         safety.(mask) <- (if result then `Safe else `Unsafe);
@@ -141,5 +198,6 @@ let optimal ?(verifier = default_verifier) apps =
             { index; apps = List.map (fun i -> apps.(i)) ids })
           groups;
       verifications = !count;
+      undetermined = !undetermined;
     }
   end

@@ -7,16 +7,24 @@
     slot whose extended group still passes control-performance
     verification; otherwise it opens a new slot. *)
 
-type verifier =
-  Sched.Appspec.t array -> [ `Safe | `Unsafe ]
+type verdict = [ `Safe | `Unsafe | `Undetermined of string ]
+(** [`Undetermined] carries a human-readable reason (budget overruns,
+    under-approximate evidence only, ...). *)
+
+type verifier = Sched.Appspec.t array -> verdict
 (** Pluggable group verifier (the discrete engine by default; the
-    timed-automata engine can be swapped in for cross-checking). *)
+    timed-automata engine can be swapped in for cross-checking).  Both
+    mappers treat [`Undetermined] exactly like [`Unsafe] — a group is
+    only ever packed on a positive safety proof. *)
 
 type slot = { index : int; apps : App.t list }
 
 type outcome = {
   slots : slot list;
   verifications : int;  (** number of verifier calls performed *)
+  undetermined : int;
+      (** verifier calls that could not decide (each conservatively
+          treated as unsafe) *)
 }
 
 val sort_order : App.t list -> App.t list
@@ -24,7 +32,24 @@ val sort_order : App.t list -> App.t list
     then name for determinism. *)
 
 val default_verifier : verifier
-(** {!Dverify.verify} with subsumption. *)
+(** {!Dverify.verify} with subsumption, unbudgeted. *)
+
+val escalating :
+  ?stage_deadline:float ->
+  ?max_states:int ->
+  ?instances:int ->
+  ?accept_bounded:bool ->
+  unit ->
+  verifier
+(** Budgeted verifier with graceful fallback.  Stage 1 runs the exact
+    subsumption engine under [stage_deadline] (wall-clock seconds per
+    stage) and [max_states]; if it gives up, stage 2 retries with the
+    bounded-instance acceleration ([instances], default 2) under the
+    same per-stage budgets.  A bounded counterexample is a real one, so
+    bounded-[Unsafe] is definitive; bounded-[Safe] is an
+    under-approximation and is reported [`Undetermined] unless
+    [accept_bounded] (default false) opts into trusting it.  When both
+    stages give up the reason strings of both are reported. *)
 
 val first_fit : ?verifier:verifier -> ?presorted:bool -> App.t list -> outcome
 (** Run the mapping.  When [presorted] is false (default) the input is

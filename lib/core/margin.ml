@@ -24,9 +24,11 @@ let analyse ?policy ~apps () =
   let specs = Mapping.specs_of_group apps in
   let result = Dverify.verify ?policy specs in
   let safe =
+    (* unbudgeted run: Undetermined cannot occur, but margins would be
+       meaningless without a safety proof anyway *)
     match result.Dverify.verdict with
     | Dverify.Safe -> true
-    | Dverify.Unsafe _ -> false
+    | Dverify.Unsafe _ | Dverify.Undetermined _ -> false
   in
   let rows =
     List.mapi

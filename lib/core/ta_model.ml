@@ -309,16 +309,20 @@ let error_target (specs : Sched.Appspec.t array) ~locs ~store =
   done;
   !hit
 
-type result = { safe : bool; decided : bool; stats : Ta.Reach.stats }
+type result = {
+  outcome : [ `Safe | `Unsafe | `Undetermined of Ta.Reach.budget_reason ];
+  stats : Ta.Reach.stats;
+}
 
-let verify ?(max_states = 2_000_000) ?(inclusion = false) specs =
+let verify ?(max_states = 2_000_000) ?deadline ?(inclusion = false) specs =
   let net = build specs in
-  let r = Ta.Reach.run ~max_states ~inclusion net (error_target specs) in
-  match r.Ta.Reach.reachable with
-  | Some _ -> { safe = false; decided = true; stats = r.Ta.Reach.stats }
-  | None ->
-    {
-      safe = true;
-      decided = r.Ta.Reach.stats.Ta.Reach.states < max_states;
-      stats = r.Ta.Reach.stats;
-    }
+  let r =
+    Ta.Reach.run ~max_states ?deadline ~inclusion net (error_target specs)
+  in
+  let outcome =
+    match r.Ta.Reach.outcome with
+    | Ta.Reach.Hit _ -> `Unsafe
+    | Ta.Reach.Unreachable -> `Safe
+    | Ta.Reach.Exhausted reason -> `Undetermined reason
+  in
+  { outcome; stats = r.Ta.Reach.stats }

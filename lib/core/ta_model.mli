@@ -21,14 +21,20 @@ val error_target : Sched.Appspec.t array -> Ta.Reach.target
 (** Holds when some application automaton is in Error. *)
 
 type result = {
-  safe : bool;
-  decided : bool;  (** false when the state cap was hit first *)
+  outcome : [ `Safe | `Unsafe | `Undetermined of Ta.Reach.budget_reason ];
+      (** [`Undetermined] when a state or wall-clock budget ran out
+          before the Error location could be proved (un)reachable *)
   stats : Ta.Reach.stats;
 }
 
-val verify : ?max_states:int -> ?inclusion:bool -> Sched.Appspec.t array -> result
+val verify :
+  ?max_states:int ->
+  ?deadline:float ->
+  ?inclusion:bool ->
+  Sched.Appspec.t array ->
+  result
 (** Zone-based model checking of the group (default cap 2,000,000
-    symbolic states).  [safe] is meaningful only when [decided].
+    symbolic states; [deadline] is a wall-clock budget in seconds).
     [inclusion] (default [false]) switches {!Ta.Reach.run} to
     zone-inclusion pruning; the tick-driven zones of this model are
     point-like, so exact matching is usually faster. *)

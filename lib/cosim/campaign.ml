@@ -1,0 +1,144 @@
+type slot_summary = {
+  apps : string list;
+  runs : int;
+  clean_runs : int;
+  j_star : int;
+  wait : int;
+  dwell : int;
+  suppressed : int;
+  injected : int;
+  blackout_samples : int;
+  et_losses : int;
+  sensor_drops : int;
+}
+
+type summary = {
+  seed : int64;
+  spec : Faults.Spec.t;
+  horizon : int;
+  slots : slot_summary list;
+  total_violations : int;
+}
+
+(* a random admissible disturbance schedule: each application's
+   arrivals are spaced at least its [r] apart, so in a fault-free world
+   the sporadic model holds by construction *)
+let random_disturbances rng (apps : Core.App.t list) ~horizon =
+  List.concat_map
+    (fun (a : Core.App.t) ->
+      let r = a.Core.App.r in
+      let rec go t acc =
+        if t >= horizon then List.rev acc
+        else
+          let next = t + r + Faults.Prng.int rng ~bound:r in
+          go next ((t, a.Core.App.name) :: acc)
+      in
+      go (Faults.Prng.int rng ~bound:r) [])
+    apps
+
+let run ?policy ?threshold ~spec ~seed ~runs ~horizon slots =
+  if runs < 1 then invalid_arg "Campaign.run: runs must be positive";
+  if horizon < 1 then invalid_arg "Campaign.run: horizon must be positive";
+  let root = Faults.Prng.create seed in
+  let n_slots = List.length slots in
+  let exception Materialize of string in
+  try
+    let slot_summaries =
+      List.mapi
+        (fun s apps ->
+          let names =
+            Array.of_list
+              (List.map
+                 (fun (a : Core.App.t) -> (a.Core.App.name, a.Core.App.r))
+                 apps)
+          in
+          let acc =
+            ref
+              {
+                apps = List.map (fun (a : Core.App.t) -> a.Core.App.name) apps;
+                runs;
+                clean_runs = 0;
+                j_star = 0;
+                wait = 0;
+                dwell = 0;
+                suppressed = 0;
+                injected = 0;
+                blackout_samples = 0;
+                et_losses = 0;
+                sensor_drops = 0;
+              }
+          in
+          for k = 0 to runs - 1 do
+            let stream = Faults.Prng.split root ((k * n_slots) + s) in
+            let dist_rng = Faults.Prng.split stream 0 in
+            let plan_seed = Faults.Prng.next_int64 (Faults.Prng.split stream 1) in
+            let disturbances = random_disturbances dist_rng apps ~horizon in
+            let scenario = Scenario.make ~apps ~disturbances ~horizon in
+            match
+              Faults.Plan.materialize ~spec ~seed:plan_seed ~apps:names ~horizon
+            with
+            | Error e -> raise (Materialize e)
+            | Ok plan ->
+              let trace, fault_summary =
+                Engine.run_with_faults ?policy ~plan scenario
+              in
+              let report =
+                Monitor.check ?threshold ~summary:fault_summary ~apps trace
+              in
+              let a = !acc in
+              acc :=
+                {
+                  a with
+                  clean_runs = (a.clean_runs + if report.Monitor.ok then 1 else 0);
+                  j_star = a.j_star + Monitor.count report `Settling;
+                  wait = a.wait + Monitor.count report `Wait;
+                  dwell = a.dwell + Monitor.count report `Dwell;
+                  suppressed = a.suppressed + Monitor.count report `Suppressed;
+                  injected =
+                    a.injected
+                    + List.length fault_summary.Engine.injected;
+                  blackout_samples =
+                    a.blackout_samples + fault_summary.Engine.blackout_samples;
+                  et_losses = a.et_losses + fault_summary.Engine.et_losses;
+                  sensor_drops =
+                    a.sensor_drops + fault_summary.Engine.sensor_drops;
+                }
+          done;
+          !acc)
+        slots
+    in
+    let total_violations =
+      List.fold_left
+        (fun t s -> t + s.j_star + s.wait + s.dwell + s.suppressed)
+        0 slot_summaries
+    in
+    if Obs.Trace_ctx.enabled () then begin
+      Obs.Metric.count "campaign.runs" (runs * n_slots);
+      Obs.Metric.count "campaign.violations" total_violations
+    end;
+    Ok { seed; spec; horizon; slots = slot_summaries; total_violations }
+  with Materialize e -> Error e
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>fault campaign: spec %S seed %Ld@,"
+    (Faults.Spec.to_string s.spec) s.seed;
+  Format.fprintf ppf "%d slot group(s), %d run(s) each, horizon %d samples@,@,"
+    (List.length s.slots)
+    (match s.slots with g :: _ -> g.runs | [] -> 0)
+    s.horizon;
+  Format.fprintf ppf
+    "%-24s %6s %6s %6s %6s %6s %6s@," "slot group" "clean" "J*" "T*_w" "dwell"
+    "suppr" "inject";
+  List.iter
+    (fun g ->
+      Format.fprintf ppf "%-24s %3d/%-2d %6d %6d %6d %6d %6d@,"
+        (String.concat "," g.apps) g.clean_runs g.runs g.j_star g.wait g.dwell
+        g.suppressed g.injected)
+    s.slots;
+  let blackout = List.fold_left (fun t g -> t + g.blackout_samples) 0 s.slots in
+  let losses = List.fold_left (fun t g -> t + g.et_losses) 0 s.slots in
+  let drops = List.fold_left (fun t g -> t + g.sensor_drops) 0 s.slots in
+  Format.fprintf ppf
+    "@,faults injected: %d blackout sample(s), %d ET loss(es), %d sensor drop(s)@,"
+    blackout losses drops;
+  Format.fprintf ppf "total guarantee violations: %d@]" s.total_violations

@@ -1,0 +1,46 @@
+(** Seeded fault-injection campaigns: many randomized monitored runs
+    over the slot groups of a dimensioned system.
+
+    Every run draws an admissible disturbance schedule (arrivals of
+    each application spaced at least [r] apart) and a materialised
+    fault plan from the campaign spec, both from streams split off the
+    campaign seed — the whole campaign is a pure function of
+    [(spec, seed, runs, horizon, slots)] and its summary is
+    byte-for-byte reproducible. *)
+
+type slot_summary = {
+  apps : string list;  (** names of the slot group *)
+  runs : int;
+  clean_runs : int;  (** runs with no violation at all *)
+  j_star : int;  (** settling-budget violations, summed over runs *)
+  wait : int;  (** T*_w overruns *)
+  dwell : int;  (** dwell-table violations *)
+  suppressed : int;  (** suppressed arrivals *)
+  injected : int;  (** disturbances actually delivered *)
+  blackout_samples : int;
+  et_losses : int;
+  sensor_drops : int;
+}
+
+type summary = {
+  seed : int64;
+  spec : Faults.Spec.t;
+  horizon : int;
+  slots : slot_summary list;
+  total_violations : int;
+}
+
+val run :
+  ?policy:Sched.Slot_state.policy ->
+  ?threshold:float ->
+  spec:Faults.Spec.t ->
+  seed:int64 ->
+  runs:int ->
+  horizon:int ->
+  Core.App.t list list ->
+  (summary, string) result
+(** [Error] reports a spec that does not materialise against a slot
+    group (e.g. an unknown application name). *)
+
+val pp : Format.formatter -> summary -> unit
+(** Deterministic: contains no wall-clock quantities. *)

@@ -1,7 +1,47 @@
-let run ?policy (scenario : Scenario.t) =
+type fault_summary = {
+  injected : (int * int) list;
+  suppressed : (int * int) list;
+  denied : (int * int) list;
+  blackout_samples : int;
+  et_losses : int;
+  sensor_drops : int;
+}
+
+let no_faults =
+  {
+    injected = [];
+    suppressed = [];
+    denied = [];
+    blackout_samples = 0;
+    et_losses = 0;
+    sensor_drops = 0;
+  }
+
+(* an application may legally receive a disturbance at the coming tick
+   when it is already steady or its quiet period expires exactly now
+   (mirrors Dverify.disturbable_ids; the Safe -> Steady transition
+   fires inside the tick before admission) *)
+let disturbable (specs : Sched.Appspec.t array) state id =
+  match Sched.Slot_state.phase state id with
+  | Sched.Slot_state.Steady -> true
+  | Sched.Slot_state.Safe { age } -> age + 1 >= specs.(id).Sched.Appspec.r
+  | Sched.Slot_state.Waiting _ | Running _ | Error -> false
+
+let run_with_faults ?policy ?plan (scenario : Scenario.t) =
   let apps = Array.of_list scenario.Scenario.apps in
   let n = Array.length apps in
   if n = 0 then invalid_arg "Engine.run: empty scenario";
+  let horizon = scenario.Scenario.horizon in
+  let plan =
+    match plan with
+    | None -> Faults.Plan.none ~n ~horizon
+    | Some p ->
+      if p.Faults.Plan.horizon <> horizon then
+        invalid_arg "Engine.run: fault plan horizon mismatch";
+      if Array.length p.Faults.Plan.et_loss <> n then
+        invalid_arg "Engine.run: fault plan app count mismatch";
+      p
+  in
   Obs.Span.with_ "cosim.run" @@ fun () ->
   let h = apps.(0).Core.App.plant.Control.Plant.h in
   Array.iter
@@ -11,8 +51,10 @@ let run ?policy (scenario : Scenario.t) =
     apps;
   let specs = Array.mapi (fun i a -> Core.App.spec a ~id:i) apps in
   let arbiter = Sched.Arbiter.create ?policy specs in
-  let disturbances = Scenario.disturbance_schedule scenario in
-  let horizon = scenario.Scenario.horizon in
+  let disturbances =
+    List.sort_uniq compare
+      (Scenario.disturbance_schedule scenario @ plan.Faults.Plan.bursts)
+  in
   let outputs = Array.init n (fun _ -> Array.make horizon 0.) in
   let states =
     Array.map
@@ -21,38 +63,93 @@ let run ?policy (scenario : Scenario.t) =
                (Linalg.Vec.zeros (Control.Plant.order a.Core.App.plant))))
       apps
   in
+  let injected = ref [] and suppressed = ref [] and denied = ref [] in
+  let et_losses = ref 0 and sensor_drops = ref 0 in
   for k = 0 to horizon - 1 do
-    let disturbed =
+    let arrivals =
       List.filter_map (fun (s, id) -> if s = k then Some id else None)
         disturbances
     in
-    ignore (Sched.Arbiter.step arbiter ~disturbed ());
-    let owner =
-      (Sched.Arbiter.state arbiter).Sched.Slot_state.owner
+    (* under faults an arrival may find its application still waiting,
+       running, or in error (the nominal sporadic-model guarantee no
+       longer holds); such arrivals are suppressed, not crashes *)
+    let deliverable, dropped =
+      List.partition (disturbable specs (Sched.Arbiter.state arbiter)) arrivals
+    in
+    List.iter (fun id -> injected := (k, id) :: !injected) deliverable;
+    List.iter (fun id -> suppressed := (k, id) :: !suppressed) dropped;
+    let slot_available = not plan.Faults.Plan.blackout.(k) in
+    let outcome =
+      Sched.Arbiter.step arbiter ~disturbed:deliverable ~slot_available ()
     in
     List.iter
+      (fun id -> denied := (k, id) :: !denied)
+      outcome.Sched.Slot_state.denied;
+    let owner = (Sched.Arbiter.state arbiter).Sched.Slot_state.owner in
+    List.iter
       (fun id -> states.(id) := Control.Switched.disturbed apps.(id).Core.App.plant)
-      disturbed;
+      deliverable;
     for i = 0 to n - 1 do
       let a = apps.(i) in
       outputs.(i).(k) <- Control.Switched.output a.Core.App.plant !(states.(i));
       let mode =
         if owner = Some i then Control.Switched.Mt else Control.Switched.Me
       in
-      states.(i) := Control.Switched.step a.Core.App.plant a.Core.App.gains mode !(states.(i))
+      let s = !(states.(i)) in
+      states.(i) :=
+        (if plan.Faults.Plan.sensor_drop.(i).(k) then begin
+           (* the controller computes from a held measurement: no new
+              command is issued, the plant evolves under the last
+              actuated value *)
+           incr sensor_drops;
+           {
+             Control.Switched.x =
+               Control.Plant.step a.Core.App.plant s.Control.Switched.x
+                 s.Control.Switched.u_prev;
+             u_prev = s.Control.Switched.u_prev;
+           }
+         end
+         else if
+           mode = Control.Switched.Me && plan.Faults.Plan.et_loss.(i).(k)
+         then begin
+           (* the ET message carrying the fresh command is lost: the
+              state still evolves under the previously actuated value
+              (the ME update applies u_prev anyway) but the actuator
+              holds — one extra sample of delay *)
+           incr et_losses;
+           let s' =
+             Control.Switched.step a.Core.App.plant a.Core.App.gains
+               Control.Switched.Me s
+           in
+           { s' with Control.Switched.u_prev = s.Control.Switched.u_prev }
+         end
+         else
+           Control.Switched.step a.Core.App.plant a.Core.App.gains mode s)
     done
   done;
   let owner_trace = Sched.Arbiter.owner_trace arbiter in
+  let blackout_samples =
+    Array.fold_left
+      (fun acc b -> if b then acc + 1 else acc)
+      0 plan.Faults.Plan.blackout
+  in
   if Obs.Trace_ctx.enabled () then begin
     Obs.Metric.count "cosim.samples" horizon;
     Obs.Metric.count "cosim.apps" n;
-    Obs.Metric.count "cosim.disturbances" (List.length disturbances);
+    Obs.Metric.count "cosim.disturbances" (List.length !injected);
     Obs.Metric.count "cosim.preemptions"
       (List.length
          (List.filter
             (fun (e : Sched.Arbiter.log_entry) ->
               match e.Sched.Arbiter.event with `Preempt _ -> true | _ -> false)
             (Sched.Arbiter.log arbiter)));
+    if not (Faults.Plan.is_empty plan) then begin
+      Obs.Metric.count "cosim.faults.blackout_samples" blackout_samples;
+      Obs.Metric.count "cosim.faults.et_losses" !et_losses;
+      Obs.Metric.count "cosim.faults.sensor_drops" !sensor_drops;
+      Obs.Metric.count "cosim.faults.suppressed" (List.length !suppressed);
+      Obs.Metric.count "cosim.faults.denials" (List.length !denied)
+    end;
     (* per-application mode switches: each change of slot ownership
        status (Mt <-> Me) across consecutive samples *)
     for i = 0 to n - 1 do
@@ -64,11 +161,21 @@ let run ?policy (scenario : Scenario.t) =
       Obs.Metric.observe_value "cosim.mode_switches" (float_of_int !switches)
     done
   end;
-  {
-    Trace.names = Array.map (fun (a : Core.App.t) -> a.Core.App.name) apps;
-    h;
-    outputs;
-    owner = owner_trace;
-    log = Sched.Arbiter.log arbiter;
-    disturbances;
-  }
+  ( {
+      Trace.names = Array.map (fun (a : Core.App.t) -> a.Core.App.name) apps;
+      h;
+      outputs;
+      owner = owner_trace;
+      log = Sched.Arbiter.log arbiter;
+      disturbances = List.rev !injected;
+    },
+    {
+      injected = List.rev !injected;
+      suppressed = List.rev !suppressed;
+      denied = List.rev !denied;
+      blackout_samples;
+      et_losses = !et_losses;
+      sensor_drops = !sensor_drops;
+    } )
+
+let run ?policy scenario = fst (run_with_faults ?policy scenario)

@@ -7,9 +7,47 @@
     its hybrid state reset to the canonical disturbed state at the
     sample where its disturbance is sensed.  This is the executable
     counterpart of the verified model: the sequence of modes each
-    application sees is exactly the one {!Sched.Slot_state} allows. *)
+    application sees is exactly the one {!Sched.Slot_state} allows.
+
+    The fault-aware path ({!run_with_faults}) additionally consumes a
+    materialised {!Faults.Plan}: TT blackouts deny the slot (evicting
+    the occupant into [ME]), lost ET messages hold the last actuation
+    one extra sample, dropped sensor samples hold the last measurement,
+    and adversarial burst arrivals join the scheduled disturbances.
+    Arrivals that find their application not steady — possible only
+    under faults — are suppressed and reported, not raised. *)
+
+type fault_summary = {
+  injected : (int * int) list;
+      (** disturbances actually delivered, [(sample, id)], including
+          burst arrivals *)
+  suppressed : (int * int) list;
+      (** arrivals dropped because the application was not steady *)
+  denied : (int * int) list;  (** occupant evictions by blackout *)
+  blackout_samples : int;
+  et_losses : int;  (** losses that hit an [ME]-mode sample *)
+  sensor_drops : int;
+}
+
+val no_faults : fault_summary
+(** The all-zero summary: what {!run_with_faults} reports for an empty
+    plan on a disturbance-free scenario ([injected] lists delivered
+    scheduled arrivals too, so a disturbed nominal run is non-zero
+    there). *)
 
 val run : ?policy:Sched.Slot_state.policy -> Scenario.t -> Trace.t
 (** Default policy {!Sched.Slot_state.Eager_preempt}.
     @raise Invalid_argument when the apps have inconsistent sampling
     periods. *)
+
+val run_with_faults :
+  ?policy:Sched.Slot_state.policy ->
+  ?plan:Faults.Plan.t ->
+  Scenario.t ->
+  Trace.t * fault_summary
+(** Like {!run} under the given fault plan.  With [plan] absent (or
+    {!Faults.Plan.none}) the trace is identical to {!run}'s — the
+    nominal path and the fault path cannot drift apart because they are
+    the same code.
+    @raise Invalid_argument when the plan's horizon or application
+    count does not match the scenario. *)

@@ -6,7 +6,12 @@ type t = {
 
 let app_index t name =
   let rec go i = function
-    | [] -> raise Not_found
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Scenario.app_index: unknown application %S (scenario has %s)"
+           name
+           (String.concat ", "
+              (List.map (fun (a : Core.App.t) -> a.Core.App.name) t.apps)))
     | (a : Core.App.t) :: _ when String.equal a.Core.App.name name -> i
     | _ :: rest -> go (i + 1) rest
   in

@@ -17,7 +17,9 @@ val make :
     disturbances of one app closer than its [r]. *)
 
 val app_index : t -> string -> int
-(** Dense id of an app within the scenario.  @raise Not_found. *)
+(** Dense id of an app within the scenario.
+    @raise Invalid_argument on an unknown name, reporting it together
+    with the names the scenario does have. *)
 
 val disturbance_schedule : t -> (int * int) list
 (** [(sample, id)] pairs, by sample. *)

@@ -1,0 +1,112 @@
+type t = {
+  horizon : int;
+  blackout : bool array;
+  et_loss : bool array array;
+  sensor_drop : bool array array;
+  bursts : (int * int) list;
+}
+
+let none ~n ~horizon =
+  {
+    horizon;
+    blackout = Array.make horizon false;
+    et_loss = Array.init n (fun _ -> Array.make horizon false);
+    sensor_drop = Array.init n (fun _ -> Array.make horizon false);
+    bursts = [];
+  }
+
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let app_id apps name =
+  let found = ref None in
+  Array.iteri (fun i (n, _) -> if String.equal n name then found := Some i) apps;
+  match !found with
+  | Some i -> Ok i
+  | None ->
+    err "fault spec references unknown application %S (scenario has %s)" name
+      (String.concat ", " (Array.to_list (Array.map fst apps)))
+
+let in_horizon sample ~horizon ~what =
+  if sample >= 0 && sample < horizon then Ok ()
+  else err "%s sample %d outside the horizon [0,%d)" what sample horizon
+
+let materialize ~spec ~seed ~apps ~horizon =
+  if horizon <= 0 then err "Plan.materialize: non-positive horizon"
+  else begin
+    let plan = none ~n:(Array.length apps) ~horizon in
+    let bursts = ref [] in
+    let root = Prng.create seed in
+    let apply index clause =
+      (* one child stream per clause index: clause-local determinism *)
+      let rng = Prng.split root index in
+      match clause with
+      | Spec.Blackout_window { first; until } ->
+        let* () = in_horizon first ~horizon ~what:"blackout" in
+        for k = first to Int.min (until - 1) (horizon - 1) do
+          plan.blackout.(k) <- true
+        done;
+        Ok ()
+      | Spec.Blackout_random { p; len } ->
+        for k = 0 to horizon - 1 do
+          if Prng.bernoulli rng ~p then
+            for j = k to Int.min (k + len - 1) (horizon - 1) do
+              plan.blackout.(j) <- true
+            done
+        done;
+        Ok ()
+      | Spec.Et_loss_at { app; sample } ->
+        let* id = app_id apps app in
+        let* () = in_horizon sample ~horizon ~what:"loss" in
+        plan.et_loss.(id).(sample) <- true;
+        Ok ()
+      | Spec.Et_loss_random { app; p } ->
+        let* id = app_id apps app in
+        for k = 0 to horizon - 1 do
+          if Prng.bernoulli rng ~p then plan.et_loss.(id).(k) <- true
+        done;
+        Ok ()
+      | Spec.Sensor_drop_at { app; sample } ->
+        let* id = app_id apps app in
+        let* () = in_horizon sample ~horizon ~what:"drop" in
+        plan.sensor_drop.(id).(sample) <- true;
+        Ok ()
+      | Spec.Sensor_drop_random { app; p } ->
+        let* id = app_id apps app in
+        for k = 0 to horizon - 1 do
+          if Prng.bernoulli rng ~p then plan.sensor_drop.(id).(k) <- true
+        done;
+        Ok ()
+      | Spec.Burst { app; start; count } ->
+        let* id = app_id apps app in
+        let* () = in_horizon start ~horizon ~what:"burst" in
+        let r = snd apps.(id) in
+        (* the sporadic adversary at full rate: arrivals exactly r apart;
+           those past the horizon are silently clipped *)
+        for i = 0 to count - 1 do
+          let s = start + (i * r) in
+          if s < horizon then bursts := (s, id) :: !bursts
+        done;
+        Ok ()
+    in
+    let* () =
+      List.fold_left
+        (fun acc (index, clause) ->
+          let* () = acc in
+          apply index clause)
+        (Ok ())
+        (List.mapi (fun i c -> (i, c)) spec)
+    in
+    Ok { plan with bursts = List.sort_uniq compare !bursts }
+  end
+
+let count_true a = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a
+
+let event_count t =
+  count_true t.blackout
+  + Array.fold_left (fun acc row -> acc + count_true row) 0 t.et_loss
+  + Array.fold_left (fun acc row -> acc + count_true row) 0 t.sensor_drop
+  + List.length t.bursts
+
+let is_empty t = event_count t = 0

@@ -1,0 +1,37 @@
+(** A fault spec materialised against a concrete scenario: per-sample
+    boolean masks plus the adversarial disturbance arrivals, fully
+    determined by (spec, seed, horizon, application set).
+
+    The plan is what the fault-aware co-simulation path consumes; it
+    contains no randomness of its own, so replaying a plan is exact. *)
+
+type t = {
+  horizon : int;
+  blackout : bool array;  (** length [horizon]; [true] = slot denied *)
+  et_loss : bool array array;  (** [et_loss.(id).(k)]: ET message lost *)
+  sensor_drop : bool array array;  (** measurement held at sample [k] *)
+  bursts : (int * int) list;  (** extra [(sample, id)] arrivals, sorted *)
+}
+
+val none : n:int -> horizon:int -> t
+(** The fault-free plan: all masks false, no bursts. *)
+
+val materialize :
+  spec:Spec.t ->
+  seed:int64 ->
+  apps:(string * int) array ->
+  horizon:int ->
+  (t, string) result
+(** Realise [spec] over [horizon] samples for the applications
+    [(name, r)] (index = scenario id).  Randomised clauses draw from a
+    {!Prng} child stream per clause, so the plan is a pure function of
+    the arguments, and editing one clause does not reshuffle the
+    others.  Burst arrivals are spaced exactly [r] samples apart.
+    Errors on unknown application names or out-of-horizon samples. *)
+
+val event_count : t -> int
+(** Total injected fault events: blackout samples, message losses,
+    sensor drops, and burst arrivals — the "fault pressure" column of
+    campaign summaries. *)
+
+val is_empty : t -> bool

@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* the splitmix64 finaliser: a bijective avalanche over 64 bits *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+let of_int seed = create (Int64.of_int seed)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t i =
+  (* child seed from the parent's seed (not its position), so drawing
+     from the parent never perturbs the children *)
+  create (mix (Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1)))))
+
+let float t =
+  (* top 53 bits, the double-precision mantissa width *)
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+  *. (1. /. 9007199254740992.)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound";
+  (* rejection-free modulo is fine at campaign scale: the bias for
+     bound << 2^64 is immeasurable *)
+  Int64.to_int (Int64.unsigned_rem (next_int64 t) (Int64.of_int bound))
+
+let bernoulli t ~p = float t < p

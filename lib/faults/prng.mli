@@ -1,0 +1,32 @@
+(** Deterministic splitmix64 pseudo-random stream.
+
+    Fault campaigns must be reproducible from a single integer seed:
+    the same seed yields the same blackout windows, message losses and
+    disturbance schedules on every run and every platform.  The
+    generator is the splitmix64 finaliser (Steele et al., "Fast
+    splittable pseudorandom number generators"), whose output stream
+    depends only on the 64-bit seed — no global state, no
+    [Random.self_init]. *)
+
+type t
+
+val create : int64 -> t
+val of_int : int -> t
+
+val split : t -> int -> t
+(** [split t i] derives the [i]-th child stream.  Children are
+    statistically independent of the parent and of each other, and do
+    not advance the parent: clause [i] of a fault spec always sees the
+    same stream no matter how much randomness earlier clauses drew. *)
+
+val next_int64 : t -> int64
+(** Advance and return the next 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound).  @raise Invalid_argument when [bound <= 0]. *)
+
+val bernoulli : t -> p:float -> bool
+(** [true] with probability [p] (clamped to [0, 1]). *)

@@ -1,0 +1,141 @@
+type clause =
+  | Blackout_window of { first : int; until : int }
+  | Blackout_random of { p : float; len : int }
+  | Et_loss_at of { app : string; sample : int }
+  | Et_loss_random of { app : string; p : float }
+  | Sensor_drop_at of { app : string; sample : int }
+  | Sensor_drop_random of { app : string; p : float }
+  | Burst of { app : string; start : int; count : int }
+
+type t = clause list
+
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let int_of s ~what =
+  match int_of_string_opt (String.trim s) with
+  | Some v when v >= 0 -> Ok v
+  | Some _ -> err "%s must be non-negative: %S" what s
+  | None -> err "bad %s: %S" what s
+
+let prob_of s =
+  match float_of_string_opt (String.trim s) with
+  | Some p when p >= 0. && p <= 1. -> Ok p
+  | Some _ -> err "probability out of [0,1]: %S" s
+  | None -> err "bad probability: %S" s
+
+(* "APP@ARG" -> (APP, ARG) *)
+let app_arg body ~clause =
+  match String.index_opt body '@' with
+  | None -> err "%s needs APP@...: %S" clause body
+  | Some i ->
+    let app = String.trim (String.sub body 0 i) in
+    let arg = String.trim (String.sub body (i + 1) (String.length body - i - 1)) in
+    if app = "" then err "%s: empty application name" clause else Ok (app, arg)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal prefix (String.sub s 0 (String.length prefix))
+
+let after ~prefix s =
+  String.sub s (String.length prefix) (String.length s - String.length prefix)
+
+let parse_blackout body =
+  if starts_with ~prefix:"p=" body then begin
+    match String.split_on_char ',' (after ~prefix:"p=" body) with
+    | [ p ] ->
+      let* p = prob_of p in
+      Ok (Blackout_random { p; len = 3 })
+    | [ p; len ] when starts_with ~prefix:"len=" (String.trim len) ->
+      let* p = prob_of p in
+      let* len = int_of (after ~prefix:"len=" (String.trim len)) ~what:"blackout length" in
+      if len = 0 then err "blackout length must be positive"
+      else Ok (Blackout_random { p; len })
+    | _ -> err "blackout wants p=P[,len=L]: %S" body
+  end
+  else
+    match String.index_opt body '-' with
+    | None -> err "blackout wants A-B or p=P[,len=L]: %S" body
+    | Some i ->
+      let* first = int_of (String.sub body 0 i) ~what:"blackout start" in
+      let* until =
+        int_of (String.sub body (i + 1) (String.length body - i - 1))
+          ~what:"blackout end"
+      in
+      if first >= until then err "blackout window [%d,%d) is empty" first until
+      else Ok (Blackout_window { first; until })
+
+let parse_per_app body ~clause ~at ~random =
+  let* app, arg = app_arg body ~clause in
+  if starts_with ~prefix:"p=" arg then
+    let* p = prob_of (after ~prefix:"p=" arg) in
+    Ok (random app p)
+  else
+    let* sample = int_of arg ~what:(clause ^ " sample") in
+    Ok (at app sample)
+
+let parse_burst body =
+  let* app, arg = app_arg body ~clause:"burst" in
+  match String.index_opt arg 'x' with
+  | None ->
+    let* start = int_of arg ~what:"burst start" in
+    Ok (Burst { app; start; count = 2 })
+  | Some i ->
+    let* start = int_of (String.sub arg 0 i) ~what:"burst start" in
+    let* count =
+      int_of (String.sub arg (i + 1) (String.length arg - i - 1)) ~what:"burst count"
+    in
+    if count = 0 then err "burst count must be positive"
+    else Ok (Burst { app; start; count })
+
+let parse_clause s =
+  match String.index_opt s ':' with
+  | None -> err "clause %S lacks ':' (want KIND:ARGS)" s
+  | Some i ->
+    let kind = String.trim (String.sub s 0 i) in
+    let body = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+    (match kind with
+     | "blackout" -> parse_blackout body
+     | "loss" ->
+       parse_per_app body ~clause:"loss"
+         ~at:(fun app sample -> Et_loss_at { app; sample })
+         ~random:(fun app p -> Et_loss_random { app; p })
+     | "drop" ->
+       parse_per_app body ~clause:"drop"
+         ~at:(fun app sample -> Sensor_drop_at { app; sample })
+         ~random:(fun app p -> Sensor_drop_random { app; p })
+     | "burst" -> parse_burst body
+     | k -> err "unknown fault kind %S (want blackout|loss|drop|burst)" k)
+
+let parse s =
+  let pieces =
+    List.filter
+      (fun p -> String.trim p <> "")
+      (String.split_on_char ';' s)
+  in
+  if pieces = [] then err "empty fault spec"
+  else
+    List.fold_left
+      (fun acc piece ->
+        let* acc = acc in
+        let* c = parse_clause (String.trim piece) in
+        Ok (c :: acc))
+      (Ok []) pieces
+    |> Result.map List.rev
+
+let clause_to_string = function
+  | Blackout_window { first; until } -> Printf.sprintf "blackout:%d-%d" first until
+  | Blackout_random { p; len } -> Printf.sprintf "blackout:p=%g,len=%d" p len
+  | Et_loss_at { app; sample } -> Printf.sprintf "loss:%s@%d" app sample
+  | Et_loss_random { app; p } -> Printf.sprintf "loss:%s@p=%g" app p
+  | Sensor_drop_at { app; sample } -> Printf.sprintf "drop:%s@%d" app sample
+  | Sensor_drop_random { app; p } -> Printf.sprintf "drop:%s@p=%g" app p
+  | Burst { app; start; count } -> Printf.sprintf "burst:%s@%dx%d" app start count
+
+let to_string t = String.concat ";" (List.map clause_to_string t)
+
+let is_random =
+  List.exists (function
+    | Blackout_random _ | Et_loss_random _ | Sensor_drop_random _ -> true
+    | Blackout_window _ | Et_loss_at _ | Sensor_drop_at _ | Burst _ -> false)

@@ -1,0 +1,47 @@
+(** Declarative fault models for co-simulation campaigns.
+
+    A spec is a semicolon-separated list of clauses:
+
+    {v
+    blackout:A-B            TT slot denied for samples [A, B)
+    blackout:p=P[,len=L]    each sample starts a blackout of L samples
+                            with probability P (default L = 3)
+    loss:APP@K              APP's ET message at sample K is lost
+                            (actuator holds its last value one sample)
+    loss:APP@p=P            each ET sample of APP is lost with prob. P
+    drop:APP@K              APP's sensor sample K is dropped
+                            (controller holds the last measurement)
+    drop:APP@p=P            each sensor sample dropped with prob. P
+    burst:APP@S[xN]         N disturbances of APP starting at sample S,
+                            spaced exactly its minimum inter-arrival r
+                            (default N = 2) — the sporadic adversary
+                            at full rate
+    v}
+
+    Clauses referencing unknown applications are rejected at
+    materialisation time ({!Plan.materialize}), not at parse time, so a
+    spec can be parsed before the scenario is known. *)
+
+type clause =
+  | Blackout_window of { first : int; until : int }  (** [\[first, until)] *)
+  | Blackout_random of { p : float; len : int }
+  | Et_loss_at of { app : string; sample : int }
+  | Et_loss_random of { app : string; p : float }
+  | Sensor_drop_at of { app : string; sample : int }
+  | Sensor_drop_random of { app : string; p : float }
+  | Burst of { app : string; start : int; count : int }
+
+type t = clause list
+
+val parse : string -> (t, string) result
+(** Parse the grammar above.  Whitespace around clauses and separators
+    is ignored; probabilities must lie in [0, 1]; samples and window
+    bounds must be non-negative with [first < until]. *)
+
+val to_string : t -> string
+(** Canonical round-trippable form: [parse (to_string s)] succeeds and
+    yields an equal spec. *)
+
+val is_random : t -> bool
+(** Whether any clause draws randomness (a campaign over a purely
+    deterministic spec runs the same faults at every seed). *)

@@ -1,6 +1,11 @@
 type log_entry = {
   sample : int;
-  event : [ `Grant of int * int | `Release of int | `Preempt of int | `Error of int ];
+  event :
+    [ `Grant of int * int
+    | `Release of int
+    | `Preempt of int
+    | `Error of int
+    | `Deny of int ];
 }
 
 type t = {
@@ -25,8 +30,10 @@ let create ?(policy = Slot_state.Eager_preempt) specs =
 let specs t = t.specs
 let sample t = t.sample
 
-let step t ?(disturbed = []) () =
-  let state, outcome = Slot_state.tick ~policy:t.policy t.specs t.state ~disturbed in
+let step t ?(disturbed = []) ?slot_available () =
+  let state, outcome =
+    Slot_state.tick ~policy:t.policy ?slot_available t.specs t.state ~disturbed
+  in
   let entry event = { sample = t.sample; event } in
   List.iter (fun (id, wt) -> t.log <- entry (`Grant (id, wt)) :: t.log)
     outcome.Slot_state.granted;
@@ -36,13 +43,16 @@ let step t ?(disturbed = []) () =
     outcome.Slot_state.preempted;
   List.iter (fun id -> t.log <- entry (`Error id) :: t.log)
     outcome.Slot_state.new_errors;
+  List.iter (fun id -> t.log <- entry (`Deny id) :: t.log)
+    outcome.Slot_state.denied;
   if Obs.Trace_ctx.enabled () then begin
     Obs.Metric.count "arbiter.samples" 1;
     Obs.Metric.count "arbiter.grants" (List.length outcome.Slot_state.granted);
     Obs.Metric.count "arbiter.releases" (List.length outcome.Slot_state.released);
     Obs.Metric.count "arbiter.preemptions"
       (List.length outcome.Slot_state.preempted);
-    Obs.Metric.count "arbiter.errors" (List.length outcome.Slot_state.new_errors)
+    Obs.Metric.count "arbiter.errors" (List.length outcome.Slot_state.new_errors);
+    Obs.Metric.count "arbiter.denials" (List.length outcome.Slot_state.denied)
   end;
   t.state <- state;
   t.owners <- state.Slot_state.owner :: t.owners;

@@ -9,7 +9,8 @@ type log_entry = {
   event : [ `Grant of int * int  (** id, wait at grant *)
           | `Release of int
           | `Preempt of int
-          | `Error of int ];
+          | `Error of int
+          | `Deny of int  (** evicted by a TT slot blackout *) ];
 }
 
 val create : ?policy:Slot_state.policy -> Appspec.t array -> t
@@ -20,8 +21,11 @@ val specs : t -> Appspec.t array
 val sample : t -> int
 (** Number of ticks executed so far. *)
 
-val step : t -> ?disturbed:int list -> unit -> Slot_state.outcome
-(** Advance one sample; [disturbed] defaults to none. *)
+val step :
+  t -> ?disturbed:int list -> ?slot_available:bool -> unit -> Slot_state.outcome
+(** Advance one sample; [disturbed] defaults to none and
+    [slot_available] to [true] (see {!Slot_state.tick} for the blackout
+    semantics when [false]). *)
 
 val run : t -> horizon:int -> disturbances:(int * int) list -> unit
 (** [run t ~horizon ~disturbances] executes [horizon] ticks where

@@ -12,6 +12,7 @@ type outcome = {
   released : int list;
   preempted : int list;
   new_errors : int list;
+  denied : int list;
 }
 
 type policy = Eager_preempt | Lazy_preempt
@@ -41,7 +42,7 @@ let insert_edf specs phases buffer id =
   in
   go buffer
 
-let tick ?(policy = Eager_preempt) specs state ~disturbed =
+let tick ?(policy = Eager_preempt) ?(slot_available = true) specs state ~disturbed =
   let n = Array.length specs in
   let phases = Array.copy state.phases in
   (* 1. aging *)
@@ -94,6 +95,7 @@ let tick ?(policy = Eager_preempt) specs state ~disturbed =
       !buffer;
   (* 5. slot update *)
   let released = ref [] and preempted = ref [] and granted = ref [] in
+  let denied = ref [] in
   let owner = ref state.owner in
   let grant_head () =
     match !buffer with
@@ -110,6 +112,23 @@ let tick ?(policy = Eager_preempt) specs state ~disturbed =
        | Steady | Running _ | Safe _ | Error ->
          invalid_arg "Slot_state: buffer head not waiting")
   in
+  if not slot_available then begin
+    (* TT slot blackout: the occupant is evicted to ET mode (its dwell
+       may be cut below T-_dw — the guarantee monitor's business, not
+       ours) and nobody is granted; waiting applications keep aging
+       towards Error *)
+    match !owner with
+    | None -> ()
+    | Some id ->
+      (match phases.(id) with
+       | Running { ct; wt_granted; _ } ->
+         phases.(id) <- Safe { age = wt_granted + ct };
+         owner := None;
+         denied := id :: !denied
+       | Steady | Waiting _ | Safe _ | Error ->
+         invalid_arg "Slot_state: owner not running")
+  end
+  else
   (match !owner with
    | None -> grant_head ()
    | Some id ->
@@ -152,6 +171,7 @@ let tick ?(policy = Eager_preempt) specs state ~disturbed =
       released = List.rev !released;
       preempted = List.rev !preempted;
       new_errors = List.rev !new_errors;
+      denied = List.rev !denied;
     } )
 
 let force_steady t ~keep_quiet =

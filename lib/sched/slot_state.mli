@@ -46,6 +46,9 @@ type outcome = {
   released : int list;  (** voluntary releases this sample *)
   preempted : int list;
   new_errors : int list;
+  denied : int list;
+      (** occupant evicted because the slot itself was unavailable
+          (fault injection; empty in nominal runs) *)
 }
 
 type policy =
@@ -64,10 +67,23 @@ val initial : Appspec.t array -> t
     @raise Invalid_argument otherwise. *)
 
 val tick :
-  ?policy:policy -> Appspec.t array -> t -> disturbed:int list -> t * outcome
+  ?policy:policy ->
+  ?slot_available:bool ->
+  Appspec.t array ->
+  t ->
+  disturbed:int list ->
+  t * outcome
 (** One sample (default policy {!Eager_preempt}).  [disturbed] lists
     (in arrival order) the applications whose disturbance arrived since
     the previous sample.
+
+    [slot_available] (default [true]) models TT slot blackouts for
+    fault injection: when [false] the slot update is replaced by an
+    eviction — a running occupant is forced to [Safe] (ET mode, listed
+    in [outcome.denied]) regardless of its minimum dwell, and nothing
+    is granted this sample, while waiting applications keep aging
+    towards [Error].  Nominal callers (the verifiers) never pass it, so
+    the verified semantics is untouched.
     @raise Invalid_argument if a disturbed application is not [Steady]
     (the sporadic model with [J* < r] excludes this; feeding such an
     input is a harness bug). *)

@@ -11,11 +11,18 @@ type stats = {
 
 type trace_step = { automaton : string; state : Network.state }
 
-type result = {
-  reachable : Network.state option;
-  stats : stats;
-  trace : trace_step list;
-}
+type budget_reason = Max_states of int | Deadline of float
+
+type outcome =
+  | Hit of Network.state
+  | Unreachable
+  | Exhausted of budget_reason
+
+type result = { outcome : outcome; stats : stats; trace : trace_step list }
+
+let pp_budget_reason ppf = function
+  | Max_states n -> Format.fprintf ppf "state budget (%d states) exhausted" n
+  | Deadline d -> Format.fprintf ppf "deadline (%.3fs) exceeded" d
 
 (* extrapolations performed by [fire] since the current [run] started;
    module-level because [fire] is shared with the public [successors] *)
@@ -154,7 +161,7 @@ let deep_mem tbl k = Deep_tbl.mem tbl (Obj.repr k)
 let deep_add tbl k v = Deep_tbl.replace tbl (Obj.repr k) v
 let deep_find_opt tbl k = Deep_tbl.find_opt tbl (Obj.repr k)
 
-let run_impl ~max_states ~inclusion net target =
+let run_impl ~max_states ~deadline ~inclusion net target =
   let t0 = Unix.gettimeofday () in
   extrapolations := 0;
   let dedup_hits = ref 0 and inclusion_pruned = ref 0 in
@@ -194,6 +201,20 @@ let run_impl ~max_states ~inclusion net target =
   let states = ref 0 and transitions = ref 0 and waiting_peak = ref 0 in
   let queue = Queue.create () in
   let found = ref None in
+  let exhausted = ref None in
+  (* wall-clock checks are amortised: a syscall every pop would dominate
+     the cheap point-like-zone expansions of the tick-driven models *)
+  let pops = ref 0 in
+  let over_deadline () =
+    match deadline with
+    | None -> false
+    | Some d ->
+      !pops land 255 = 0 && Unix.gettimeofday () -. t0 > d
+      && begin
+           exhausted := Some (Deadline d);
+           true
+         end
+  in
   let trace_of st =
     let rec walk st acc =
       match deep_find_opt parents st with
@@ -211,6 +232,8 @@ let run_impl ~max_states ~inclusion net target =
     found := Some initial;
   (try
      while (not (Queue.is_empty queue)) && !found = None do
+       incr pops;
+       if over_deadline () then raise Exit;
        let st = Queue.pop queue in
        List.iter
          (fun (label, succ) ->
@@ -224,7 +247,10 @@ let run_impl ~max_states ~inclusion net target =
                found := Some succ;
                raise Exit
              end;
-             if !states >= max_states then raise Exit;
+             if !states >= max_states then begin
+               exhausted := Some (Max_states max_states);
+               raise Exit
+             end;
              Queue.add succ queue;
              if Queue.length queue > !waiting_peak then
                waiting_peak := Queue.length queue
@@ -244,8 +270,14 @@ let run_impl ~max_states ~inclusion net target =
       Obs.Metric.max_gauge "ta.reach.states_per_sec"
         (float_of_int !states /. elapsed)
   end;
+  let outcome =
+    match (!found, !exhausted) with
+    | Some st, _ -> Hit st
+    | None, Some reason -> Exhausted reason
+    | None, None -> Unreachable
+  in
   {
-    reachable = !found;
+    outcome;
     stats =
       {
         states = !states;
@@ -258,11 +290,19 @@ let run_impl ~max_states ~inclusion net target =
     trace = (match !found with Some st -> trace_of st | None -> []);
   }
 
-let run ?(max_states = 2_000_000) ?(inclusion = true) net target =
+let run ?(max_states = 2_000_000) ?deadline ?(inclusion = true) net target =
   if max_states <= 0 then invalid_arg "Reach.run: max_states";
-  Obs.Span.with_ "ta.reach" (fun () -> run_impl ~max_states ~inclusion net target)
+  (match deadline with
+   | Some d when d <= 0. -> invalid_arg "Reach.run: deadline"
+   | _ -> ());
+  Obs.Span.with_ "ta.reach" (fun () ->
+      run_impl ~max_states ~deadline ~inclusion net target)
 
-let reachable ?max_states ?inclusion net target =
-  match (run ?max_states ?inclusion net target).reachable with
-  | Some _ -> true
-  | None -> false
+let reachable ?max_states ?deadline ?inclusion net target =
+  match (run ?max_states ?deadline ?inclusion net target).outcome with
+  | Hit _ -> true
+  | Unreachable -> false
+  | Exhausted reason ->
+    failwith
+      (Format.asprintf "Reach.reachable: undetermined — %a" pp_budget_reason
+         reason)

@@ -23,21 +23,50 @@ type trace_step = {
   state : Network.state;
 }
 
-type result = { reachable : Network.state option; stats : stats; trace : trace_step list }
+type budget_reason =
+  | Max_states of int  (** the state cap that was hit *)
+  | Deadline of float  (** the wall-clock budget, seconds *)
+
+type outcome =
+  | Hit of Network.state  (** the target is reachable; witness attached *)
+  | Unreachable  (** full exploration completed without hitting it *)
+  | Exhausted of budget_reason
+      (** search gave up first: the answer is genuinely undetermined *)
+
+type result = { outcome : outcome; stats : stats; trace : trace_step list }
+
+val pp_budget_reason : Format.formatter -> budget_reason -> unit
 
 val successors : Network.t -> Network.state -> (string * Network.state) list
 (** All discrete successors (with delay closure applied), labelled for
     trace reporting.  Respects committed-location priority and binary
     synchronisation. *)
 
-val run : ?max_states:int -> ?inclusion:bool -> Network.t -> target -> result
-(** Breadth-first search until the target is hit or the space is
-    exhausted.  [reachable = None] means the target is unreachable (or,
-    if [max_states] was exceeded, undetermined — see [stats.states]).
+val run :
+  ?max_states:int ->
+  ?deadline:float ->
+  ?inclusion:bool ->
+  Network.t ->
+  target ->
+  result
+(** Breadth-first search until the target is hit, the space is
+    exhausted, or a budget runs out — the three cases are distinguished
+    explicitly by {!outcome}, never conflated.  [deadline] is a
+    wall-clock budget in seconds, checked every 256 expansions so the
+    overrun is bounded by one check interval.
     [inclusion] (default [true]) enables zone-inclusion pruning on top
     of exact-match deduplication; with it off the search visits more
     symbolic states but each visit costs O(1) lookups — a better
     trade-off for tick-driven models whose zones are point-like.
-    @raise Invalid_argument when [max_states <= 0]. *)
+    @raise Invalid_argument when [max_states <= 0] or [deadline <= 0]. *)
 
-val reachable : ?max_states:int -> ?inclusion:bool -> Network.t -> target -> bool
+val reachable :
+  ?max_states:int ->
+  ?deadline:float ->
+  ?inclusion:bool ->
+  Network.t ->
+  target ->
+  bool
+(** Boolean convenience over {!run}.
+    @raise Failure on {!Exhausted} — a budget overrun must not be
+    silently read as unreachability. *)

@@ -166,13 +166,21 @@ let spec ?(name = "S") ?(id = 0) ~t_w_max ~dmin ~dmax ~r () =
     ~t_dw_max:(Array.make (t_w_max + 1) dmax)
     ~r
 
+(* unbudgeted runs must always decide *)
+let is_safe_verdict = function
+  | Core.Dverify.Safe -> true
+  | Core.Dverify.Unsafe _ -> false
+  | Core.Dverify.Undetermined _ ->
+    Alcotest.fail "unbudgeted verification must not be undetermined"
+
 let test_dverify_single_safe () =
   let g = [| spec ~t_w_max:0 ~dmin:2 ~dmax:3 ~r:10 () |] in
   List.iter
     (fun mode ->
       match (Core.Dverify.verify ~mode g).Core.Dverify.verdict with
       | Core.Dverify.Safe -> ()
-      | Core.Dverify.Unsafe _ -> Alcotest.fail "single app is trivially safe")
+      | Core.Dverify.Unsafe _ | Core.Dverify.Undetermined _ ->
+        Alcotest.fail "single app is trivially safe")
     [ `Bfs; `Subsumption ]
 
 let test_dverify_unsafe_pair_with_counterexample () =
@@ -184,6 +192,7 @@ let test_dverify_unsafe_pair_with_counterexample () =
   in
   match (Core.Dverify.verify g).Core.Dverify.verdict with
   | Core.Dverify.Safe -> Alcotest.fail "pair cannot share"
+  | Core.Dverify.Undetermined _ -> Alcotest.fail "must decide"
   | Core.Dverify.Unsafe ce ->
     check_bool "has failing app" true (ce.Core.Dverify.failing <> []);
     check_bool "has steps" true (List.length ce.Core.Dverify.steps > 0);
@@ -217,9 +226,7 @@ let test_dverify_modes_agree () =
   List.iter
     (fun g ->
       let v mode =
-        match (Core.Dverify.verify ~mode g).Core.Dverify.verdict with
-        | Core.Dverify.Safe -> true
-        | Core.Dverify.Unsafe _ -> false
+        is_safe_verdict (Core.Dverify.verify ~mode g).Core.Dverify.verdict
       in
       check_bool "bfs = subsumption" true (v `Bfs = v `Subsumption))
     groups
@@ -232,16 +239,13 @@ let test_dverify_bounded_consistent () =
     |]
   in
   let full =
-    match (Core.Dverify.verify g).Core.Dverify.verdict with
-    | Core.Dverify.Safe -> true
-    | Core.Dverify.Unsafe _ -> false
+    is_safe_verdict (Core.Dverify.verify g).Core.Dverify.verdict
   in
   List.iter
     (fun k ->
       let b =
-        match (Core.Dverify.verify_bounded ~instances:k g).Core.Dverify.verdict with
-        | Core.Dverify.Safe -> true
-        | Core.Dverify.Unsafe _ -> false
+        is_safe_verdict
+          (Core.Dverify.verify_bounded ~instances:k g).Core.Dverify.verdict
       in
       (* bounded is an under-approximation: it may only miss errors *)
       check_bool "no spurious error" true (full || not full = not b || b))
@@ -274,13 +278,16 @@ let test_ta_model_agrees_with_discrete () =
   List.iter
     (fun g ->
       let d =
-        match (Core.Dverify.verify g).Core.Dverify.verdict with
-        | Core.Dverify.Safe -> true
-        | Core.Dverify.Unsafe _ -> false
+        is_safe_verdict (Core.Dverify.verify g).Core.Dverify.verdict
       in
       let t = Core.Ta_model.verify ~max_states:500_000 g in
-      check_bool "decided" true t.Core.Ta_model.decided;
-      check_bool "ta = discrete" true (t.Core.Ta_model.safe = d))
+      let ta_safe =
+        match t.Core.Ta_model.outcome with
+        | `Safe -> true
+        | `Unsafe -> false
+        | `Undetermined _ -> Alcotest.fail "ta must decide within the cap"
+      in
+      check_bool "ta = discrete" true (ta_safe = d))
     groups
 
 let test_ta_model_layout () =
@@ -326,7 +333,8 @@ let test_mapping_uses_real_verifier () =
       let specs = Core.Mapping.specs_of_group slot.Core.Mapping.apps in
       match (Core.Dverify.verify specs).Core.Dverify.verdict with
       | Core.Dverify.Safe -> ()
-      | Core.Dverify.Unsafe _ -> Alcotest.fail "mapped group must verify")
+      | Core.Dverify.Unsafe _ | Core.Dverify.Undetermined _ ->
+        Alcotest.fail "mapped group must verify")
     o.Core.Mapping.slots
 
 let test_mapping_optimal_beats_or_ties_first_fit () =
@@ -433,7 +441,8 @@ let test_lazy_policy_on_pairs () =
     (fun policy ->
       match (Core.Dverify.verify ~policy g).Core.Dverify.verdict with
       | Core.Dverify.Safe -> ()
-      | Core.Dverify.Unsafe _ -> Alcotest.fail "pair must be safe")
+      | Core.Dverify.Unsafe _ | Core.Dverify.Undetermined _ ->
+        Alcotest.fail "pair must be safe")
     [ Sched.Slot_state.Eager_preempt; Sched.Slot_state.Lazy_preempt ]
 
 let test_lazy_policy_can_break_groups () =
@@ -446,9 +455,7 @@ let test_lazy_policy_can_break_groups () =
     |]
   in
   let safe policy =
-    match (Core.Dverify.verify ~policy g).Core.Dverify.verdict with
-    | Core.Dverify.Safe -> true
-    | Core.Dverify.Unsafe _ -> false
+    is_safe_verdict (Core.Dverify.verify ~policy g).Core.Dverify.verdict
   in
   check_bool "eager safe" true (safe Sched.Slot_state.Eager_preempt);
   check_bool "lazy unsafe" false (safe Sched.Slot_state.Lazy_preempt)
@@ -510,7 +517,8 @@ let test_dverify_max_wait_recorded () =
   let r = Core.Dverify.verify g in
   (match r.Core.Dverify.verdict with
    | Core.Dverify.Safe -> ()
-   | Core.Dverify.Unsafe _ -> Alcotest.fail "expected safe");
+   | Core.Dverify.Unsafe _ | Core.Dverify.Undetermined _ ->
+     Alcotest.fail "expected safe");
   Array.iteri
     (fun i w ->
       check_bool (Printf.sprintf "app %d granted" i) true (w >= 0);
@@ -653,19 +661,18 @@ let prop_engines_agree =
   QCheck2.Test.make ~name:"discrete BFS = subsumption = TA zones" ~count:25
     gen_pair_specs (fun g ->
       let d mode =
-        match (Core.Dverify.verify ~mode g).Core.Dverify.verdict with
-        | Core.Dverify.Safe -> true
-        | Core.Dverify.Unsafe _ -> false
+        is_safe_verdict (Core.Dverify.verify ~mode g).Core.Dverify.verdict
       in
       let bfs = d `Bfs and sub = d `Subsumption in
       let ta = Core.Ta_model.verify ~max_states:400_000 g in
-      bfs = sub && ta.Core.Ta_model.decided && ta.Core.Ta_model.safe = bfs)
+      bfs = sub && ta.Core.Ta_model.outcome = (if bfs then `Safe else `Unsafe))
 
 let prop_counterexample_replays =
   QCheck2.Test.make ~name:"every counterexample replays to an error" ~count:40
     gen_pair_specs (fun g ->
       match (Core.Dverify.verify g).Core.Dverify.verdict with
       | Core.Dverify.Safe -> true
+      | Core.Dverify.Undetermined _ -> false
       | Core.Dverify.Unsafe ce ->
         let st = ref (Sched.Slot_state.initial g) in
         let seen = ref false in

@@ -20,6 +20,11 @@ let app name = Core.App.make ~name ~plant ~gains ~r:120 ~j_star:25 ()
 
 let two_apps = [ app "A"; app "B" ]
 
+let astr_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
 (* ------------------------------------------------------------------ *)
 (* Scenario *)
 
@@ -54,8 +59,16 @@ let test_scenario_index () =
   let sc = Cosim.Scenario.make ~apps:two_apps ~disturbances:[] ~horizon:5 in
   check_int "A" 0 (Cosim.Scenario.app_index sc "A");
   check_int "B" 1 (Cosim.Scenario.app_index sc "B");
+  (* an unknown name must be reported with the names the scenario does
+     have, not a bare Not_found *)
   check_bool "missing" true
-    (try ignore (Cosim.Scenario.app_index sc "Z"); false with Not_found -> true)
+    (try
+       ignore (Cosim.Scenario.app_index sc "Z");
+       false
+     with Invalid_argument m ->
+       check_bool "names the culprit" true
+         (astr_contains m "Z" && astr_contains m "A" && astr_contains m "B");
+       true)
 
 (* ------------------------------------------------------------------ *)
 (* Engine *)

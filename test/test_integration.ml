@@ -43,7 +43,7 @@ let test_paper_groups_verify_safe () =
       let specs = Core.Mapping.specs_of_group group in
       match (Core.Dverify.verify specs).Core.Dverify.verdict with
       | Core.Dverify.Safe -> ()
-      | Core.Dverify.Unsafe _ ->
+      | Core.Dverify.Unsafe _ | Core.Dverify.Undetermined _ ->
         Alcotest.fail (String.concat "," group_names ^ " must be safe"))
     Casestudy.paper_slot_partition
 
@@ -53,12 +53,14 @@ let test_s1_all_engines_agree_safe () =
   let sub =
     match (Core.Dverify.verify specs).Core.Dverify.verdict with
     | Core.Dverify.Safe -> true
-    | Core.Dverify.Unsafe _ -> false
+    | Core.Dverify.Unsafe _ | Core.Dverify.Undetermined _ -> false
   in
   let bounded =
-    match (Core.Dverify.verify_bounded ~instances:1 specs).Core.Dverify.verdict with
+    match
+      (Core.Dverify.verify_bounded ~instances:1 specs).Core.Dverify.verdict
+    with
     | Core.Dverify.Safe -> true
-    | Core.Dverify.Unsafe _ -> false
+    | Core.Dverify.Unsafe _ | Core.Dverify.Undetermined _ -> false
   in
   check_bool "subsumption safe" true sub;
   check_bool "bounded safe" true bounded
@@ -71,6 +73,7 @@ let test_five_apps_on_one_slot_unsafe () =
   | Core.Dverify.Unsafe ce ->
     check_bool "counterexample nonempty" true (ce.Core.Dverify.steps <> [])
   | Core.Dverify.Safe -> Alcotest.fail "C6 must not fit on S1"
+  | Core.Dverify.Undetermined _ -> Alcotest.fail "must decide"
 
 let test_baseline_needs_four_slots () =
   let specs =

@@ -102,7 +102,8 @@ let simple_net () =
 let test_reach_simple () =
   let net = simple_net () in
   let r = Ta.Reach.run net (fun ~locs ~store:_ -> locs.(0) = 2) in
-  check_bool "C reachable" true (r.Ta.Reach.reachable <> None);
+  check_bool "C reachable" true
+    (match r.Ta.Reach.outcome with Ta.Reach.Hit _ -> true | _ -> false);
   check_int "trace length" 2 (List.length r.Ta.Reach.trace)
 
 let test_reach_invariant_blocks () =
@@ -144,7 +145,8 @@ let test_sync_handshake () =
   let r =
     Ta.Reach.run net (fun ~locs ~store:_ -> locs.(0) = 1 && locs.(1) = 1)
   in
-  check_bool "handshake fires" true (r.Ta.Reach.reachable <> None);
+  check_bool "handshake fires" true
+    (match r.Ta.Reach.outcome with Ta.Reach.Hit _ -> true | _ -> false);
   (* receiver can never move alone *)
   check_bool "no lone receive" false
     (Ta.Reach.reachable net (fun ~locs ~store:_ -> locs.(0) = 0 && locs.(1) = 1))
@@ -244,7 +246,8 @@ let test_data_guard_and_update () =
       ~initial_store:[| 0 |] ~clock_maxima:[||]
   in
   let r = Ta.Reach.run net (fun ~locs ~store -> locs.(0) = 1 && store.(0) = 3) in
-  check_bool "counts to three" true (r.Ta.Reach.reachable <> None);
+  check_bool "counts to three" true
+    (match r.Ta.Reach.outcome with Ta.Reach.Hit _ -> true | _ -> false);
   check_bool "never beyond three" false
     (Ta.Reach.reachable net (fun ~locs:_ ~store -> store.(0) > 3))
 
@@ -271,7 +274,14 @@ let test_max_states_cap () =
   in
   let r = Ta.Reach.run ~max_states:100 net (fun ~locs:_ ~store:_ -> false) in
   check_bool "capped" true (r.Ta.Reach.stats.Ta.Reach.states >= 100);
-  check_bool "not found" true (r.Ta.Reach.reachable = None)
+  (* the cap must be reported as exhaustion, not as unreachability *)
+  check_bool "explicitly exhausted" true
+    (r.Ta.Reach.outcome = Ta.Reach.Exhausted (Ta.Reach.Max_states 100));
+  check_bool "boolean helper refuses to answer" true
+    (try
+       ignore (Ta.Reach.reachable ~max_states:100 net (fun ~locs:_ ~store:_ -> false));
+       false
+     with Failure _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Concrete execution *)
