@@ -751,23 +751,122 @@ let faults_snapshot () =
       close_out oc;
       print_endline "wrote BENCH_faults.json")
 
+(* ------------------------------------------------------------------ *)
+(* Parallel snapshot: the three parallel entry points (dwell tables,
+   first-fit mapping of the full case study, fault campaign) timed at
+   1, 2 and 4 domains, written to BENCH_par.json.  The rendered table,
+   packing and campaign summary must be byte-identical at every jobs
+   count — any divergence fails the bench.  The recorded speedups are
+   only meaningful with enough physical cores (bench.par.cores says how
+   many this host offered); the identity assertions hold anywhere. *)
+
+let par_snapshot () =
+  section "X11" "Parallel verification snapshot — BENCH_par.json (jobs 1/2/4)";
+  let spec =
+    match Faults.Spec.parse "blackout:p=0.02,len=4" with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let c1 = Casestudy.c1 in
+  let measure jobs =
+    Par.Pool.set_default_jobs jobs;
+    let t0 = Unix.gettimeofday () in
+    let table =
+      Core.Dwell.compute c1.Casestudy.plant c1.Casestudy.gains
+        ~j_star:c1.Casestudy.j_star
+    in
+    let mapping =
+      Core.Mapping.first_fit
+        ~cache:(Core.Mapping.create_cache ())
+        (Lazy.force apps)
+    in
+    let slots = List.map (fun s -> s.Core.Mapping.apps) mapping.Core.Mapping.slots in
+    let campaign =
+      match Cosim.Campaign.run ~spec ~seed:42L ~runs:10 ~horizon:300 slots with
+      | Ok summary -> summary
+      | Error e -> failwith e
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let rendered =
+      String.concat "\n"
+        [
+          Core.Table_codec.table_to_string table;
+          Format.asprintf "%a" Core.Mapping.pp mapping;
+          Format.asprintf "%a" Cosim.Campaign.pp campaign;
+        ]
+    in
+    (dt, rendered)
+  in
+  let seq_s, reference = measure 1 in
+  let p2_s, out2 = measure 2 in
+  let p4_s, out4 = measure 4 in
+  Par.Pool.set_default_jobs 1;
+  if not (String.equal reference out2) then
+    failwith "par snapshot: jobs=2 output diverges from sequential";
+  if not (String.equal reference out4) then
+    failwith "par snapshot: jobs=4 output diverges from sequential";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "jobs=1 %.2fs | jobs=2 %.2fs (%.2fx) | jobs=4 %.2fs (%.2fx) on %d core(s)\n"
+    seq_s p2_s (seq_s /. p2_s) p4_s (seq_s /. p4_s) cores;
+  print_endline "packings, campaign summaries and verdicts byte-identical";
+  Obs.Metric.reset ();
+  Obs.Span.reset ();
+  Obs.Trace_ctx.reset ();
+  Obs.Trace_ctx.enable ();
+  Fun.protect ~finally:Obs.Trace_ctx.disable (fun () ->
+      Obs.Metric.set_gauge "bench.par.seq_s" seq_s;
+      Obs.Metric.set_gauge "bench.par.p2_s" p2_s;
+      Obs.Metric.set_gauge "bench.par.p4_s" p4_s;
+      Obs.Metric.set_gauge "bench.par.speedup_2" (seq_s /. p2_s);
+      Obs.Metric.set_gauge "bench.par.speedup_4" (seq_s /. p4_s);
+      Obs.Metric.set_gauge "bench.par.verdicts_equal" 1.;
+      Obs.Metric.set_gauge "bench.par.cores" (float_of_int cores);
+      let report = Obs.Report.collect ~command:"bench-par" () in
+      let oc = open_out "BENCH_par.json" in
+      output_string oc (Obs.Report.json_to_string (Obs.Report.to_json report));
+      output_char oc '\n';
+      close_out oc;
+      print_endline "wrote BENCH_par.json")
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("table1", table1);
+    ("mapping", mapping);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("verify", verify_times);
+    ("margins", margins);
+    ("flexray", flexray_check);
+    ("ablation", preemption_ablation);
+    ("memory", table_memory);
+    ("granularity", granularity);
+    ("system", system_simulation);
+    ("fleet", fleet_scalability);
+    ("micro", microbench);
+    ("obs", obs_snapshot);
+    ("faults", faults_snapshot);
+    ("par", par_snapshot);
+  ]
+
+(* no arguments runs everything; otherwise each argument names one
+   section to run (e.g. `bench par` for the parallel snapshot alone) *)
 let () =
-  fig2 ();
-  fig3 ();
-  fig4 ();
-  table1 ();
-  mapping ();
-  fig8 ();
-  fig9 ();
-  verify_times ();
-  margins ();
-  flexray_check ();
-  preemption_ablation ();
-  table_memory ();
-  granularity ();
-  system_simulation ();
-  fleet_scalability ();
-  microbench ();
-  obs_snapshot ();
-  faults_snapshot ();
+  (match Array.to_list Sys.argv with
+   | [] | [ _ ] -> List.iter (fun (_, f) -> f ()) sections
+   | _ :: names ->
+     List.iter
+       (fun name ->
+         match List.assoc_opt name sections with
+         | Some f -> f ()
+         | None ->
+           failwith
+             (Printf.sprintf "unknown bench section %S (have: %s)" name
+                (String.concat ", " (List.map fst sections))))
+       names);
   print_newline ()

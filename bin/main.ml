@@ -52,8 +52,15 @@ let tables_cmd_run names =
 (* ------------------------------------------------------------------ *)
 (* verify *)
 
+(* --jobs: 0 (the cmdliner default) keeps whatever CPSDIM_JOBS or a
+   previous call established; a positive value resizes the shared pool
+   all parallel entry points draw from *)
+let apply_jobs jobs =
+  if jobs > 0 then Par.Pool.set_default_jobs jobs
+
 (* exit codes: 0 = safe, 2 = unsafe, 3 = undetermined (budget ran out) *)
-let verify_cmd_run engine bound deadline names =
+let verify_cmd_run engine bound deadline jobs names =
+  apply_jobs jobs;
   match parse_apps names with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok [] -> prerr_endline "verify: give at least one application"; 1
@@ -107,10 +114,13 @@ let verify_cmd_run engine bound deadline names =
 (* ------------------------------------------------------------------ *)
 (* map *)
 
-let map_cmd_run with_baseline optimal =
+let map_cmd_run with_baseline optimal jobs =
+  apply_jobs jobs;
   let apps = List.map (fun (a : Casestudy.app) -> app_of_name a.Casestudy.name) Casestudy.all in
+  let cache = Core.Mapping.create_cache () in
   let outcome =
-    if optimal then Core.Mapping.optimal apps else Core.Mapping.first_fit apps
+    if optimal then Core.Mapping.optimal ~cache apps
+    else Core.Mapping.first_fit ~cache apps
   in
   Format.printf "%a@." Core.Mapping.pp outcome;
   if with_baseline then begin
@@ -238,7 +248,8 @@ let simulate_cmd_run names disturbances horizon stride csv faults seed monitor =
    pure function of (spec, seed, runs, horizon) — no wall-clock
    quantities are printed — so two runs with the same arguments must be
    byte-identical. *)
-let stress_cmd_run names spec seed runs horizon =
+let stress_cmd_run names spec seed runs horizon jobs =
+  apply_jobs jobs;
   let names =
     if names = [] then [ "C1"; "C2"; "C3"; "C4"; "C5"; "C6" ] else names
   in
@@ -248,7 +259,7 @@ let stress_cmd_run names spec seed runs horizon =
     (match Faults.Spec.parse spec with
      | Error m -> Printf.eprintf "stress: --spec: %s\n" m; 1
      | Ok spec ->
-       let mapping = Core.Mapping.first_fit apps in
+       let mapping = Core.Mapping.first_fit ~cache:(Core.Mapping.create_cache ()) apps in
        Format.printf "%a@.@." Core.Mapping.pp mapping;
        let slots =
          List.map
@@ -482,13 +493,22 @@ let deadline_arg =
           "Wall-clock budget for the search; when it runs out the verdict is \
            explicitly undetermined (exit code 3) instead of safe/unsafe.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains for parallel verification/simulation (default: \
+           $(b,CPSDIM_JOBS) or 1).  Results are byte-identical at any \
+           $(docv).")
+
 let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Model-check a slot group")
     (with_obs "verify"
        Term.(
-         const (fun engine bound deadline names () ->
-             verify_cmd_run engine bound deadline names)
-         $ engine_arg $ bound_arg $ deadline_arg $ names_arg))
+         const (fun engine bound deadline jobs names () ->
+             verify_cmd_run engine bound deadline jobs names)
+         $ engine_arg $ bound_arg $ deadline_arg $ jobs_arg $ names_arg))
 
 let baseline_arg =
   Arg.(value & flag & info [ "b"; "baseline" ] ~doc:"Also run the DATE'12 baseline packing.")
@@ -500,8 +520,8 @@ let map_cmd =
   Cmd.v (Cmd.info "map" ~doc:"Slot mapping of the case study (first-fit or exact)")
     (with_obs "map"
        Term.(
-         const (fun baseline optimal () -> map_cmd_run baseline optimal)
-         $ baseline_arg $ optimal_arg))
+         const (fun baseline optimal jobs () -> map_cmd_run baseline optimal jobs)
+         $ baseline_arg $ optimal_arg $ jobs_arg))
 
 let disturbances_arg =
   Arg.(value & opt_all string [] & info [ "d"; "disturb" ] ~docv:"SAMPLE:APP" ~doc:"Disturbance arrival, e.g. -d 0:C1.")
@@ -568,10 +588,10 @@ let stress_cmd =
           checked by the guarantee monitor")
     (with_obs "stress"
        Term.(
-         const (fun names spec seed runs horizon () ->
-             stress_cmd_run names spec seed runs horizon)
+         const (fun names spec seed runs horizon jobs () ->
+             stress_cmd_run names spec seed runs horizon jobs)
          $ names_arg $ stress_spec_arg $ sim_seed_arg $ runs_arg
-         $ stress_horizon_arg))
+         $ stress_horizon_arg $ jobs_arg))
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Application name.")

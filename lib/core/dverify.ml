@@ -100,7 +100,7 @@ let deep_mem tbl k = Deep_tbl.mem tbl (Obj.repr k)
 let deep_add tbl k v = Deep_tbl.replace tbl (Obj.repr k) v
 let deep_find_opt tbl k = Deep_tbl.find_opt tbl (Obj.repr k)
 
-let explore_impl ~policy ~subsume ~instances ~deadline ~max_states specs =
+let explore_impl ~pool ~policy ~subsume ~instances ~deadline ~max_states specs =
   let t0 = Unix.gettimeofday () in
   let prune_hits = ref 0 and waiting_peak = ref 0 in
   let n = Array.length specs in
@@ -194,47 +194,124 @@ let explore_impl ~policy ~subsume ~instances ~deadline ~max_states specs =
       true
     | _ -> false
   in
+  let moves_of node =
+    let available =
+      let steady = disturbable_ids specs node.st in
+      if bounded then List.filter (fun id -> node.budget.(id) > 0) steady
+      else steady
+    in
+    List.concat_map (arrival_orders specs) (subsets available)
+  in
+  let jobs = Par.Pool.jobs pool in
   (try
-     while not (Queue.is_empty queue) do
-       incr pops;
-       if over_budget () then raise Exit;
-       let node = Queue.pop queue in
-       let available =
-         let steady = disturbable_ids specs node.st in
-         if bounded then List.filter (fun id -> node.budget.(id) > 0) steady
-         else steady
-       in
-       List.iter
-         (fun disturbed ->
-           incr transitions;
-           let st', outcome = Sched.Slot_state.tick ~policy specs node.st ~disturbed in
-           List.iter
-             (fun (id, wt) -> if wt > max_wait.(id) then max_wait.(id) <- wt)
-             outcome.Sched.Slot_state.granted;
-           let budget' =
-             if (not bounded) || disturbed = [] then node.budget
-             else begin
-               let b = Array.copy node.budget in
-               List.iter (fun id -> b.(id) <- b.(id) - 1) disturbed;
-               b
-             end
-           in
-           let node' = { st = normalize st' budget'; budget = budget' } in
-           match outcome.Sched.Slot_state.new_errors with
-           | _ :: _ as failing ->
-             deep_add parents node' (node, disturbed);
-             verdict := rebuild node' failing;
-             raise Exit
-           | [] ->
-             if not (seen node') then begin
-               incr states;
+     if jobs <= 1 then
+       (* the reference FIFO loop, untouched *)
+       while not (Queue.is_empty queue) do
+         incr pops;
+         if over_budget () then raise Exit;
+         let node = Queue.pop queue in
+         List.iter
+           (fun disturbed ->
+             incr transitions;
+             let st', outcome =
+               Sched.Slot_state.tick ~policy specs node.st ~disturbed
+             in
+             List.iter
+               (fun (id, wt) -> if wt > max_wait.(id) then max_wait.(id) <- wt)
+               outcome.Sched.Slot_state.granted;
+             let budget' =
+               if (not bounded) || disturbed = [] then node.budget
+               else begin
+                 let b = Array.copy node.budget in
+                 List.iter (fun id -> b.(id) <- b.(id) - 1) disturbed;
+                 b
+               end
+             in
+             let node' = { st = normalize st' budget'; budget = budget' } in
+             match outcome.Sched.Slot_state.new_errors with
+             | _ :: _ as failing ->
                deep_add parents node' (node, disturbed);
-               Queue.add node' queue;
-               if Queue.length queue > !waiting_peak then
-                 waiting_peak := Queue.length queue
-             end)
-         (List.concat_map (arrival_orders specs) (subsets available))
-     done
+               verdict := rebuild node' failing;
+               raise Exit
+             | [] ->
+               if not (seen node') then begin
+                 incr states;
+                 deep_add parents node' (node, disturbed);
+                 Queue.add node' queue;
+                 if Queue.length queue > !waiting_peak then
+                   waiting_peak := Queue.length queue
+               end)
+           (moves_of node)
+       done
+     else begin
+       (* Batched variant: grab the first K queued nodes (exactly the
+          next K sequential pops — children always land behind them),
+          expand them in parallel with pure work only, then merge the
+          expansions in pop order, replaying the reference loop's
+          side effects verbatim.  Verdicts, counterexamples, counters
+          and max_wait are byte-identical to jobs = 1; the only
+          speculation is expansion past an error or state budget within
+          one batch, and those results are simply discarded.  [qlen]
+          emulates the sequential Queue.length (the batch's pending
+          pops still count) so waiting_peak agrees too. *)
+       let qlen = ref 1 in
+       let expand node =
+         List.map
+           (fun disturbed ->
+             let st', outcome =
+               Sched.Slot_state.tick ~policy specs node.st ~disturbed
+             in
+             let budget' =
+               if (not bounded) || disturbed = [] then node.budget
+               else begin
+                 let b = Array.copy node.budget in
+                 List.iter (fun id -> b.(id) <- b.(id) - 1) disturbed;
+                 b
+               end
+             in
+             let node' = { st = normalize st' budget'; budget = budget' } in
+             ( disturbed,
+               outcome.Sched.Slot_state.granted,
+               outcome.Sched.Slot_state.new_errors,
+               node' ))
+           (moves_of node)
+       in
+       while not (Queue.is_empty queue) do
+         let k = Int.min (Queue.length queue) (jobs * 4) in
+         let batch = Array.make k initial in
+         for i = 0 to k - 1 do
+           batch.(i) <- Queue.pop queue
+         done;
+         let expanded = Par.Pool.map_array pool expand batch in
+         Array.iteri
+           (fun i results ->
+             incr pops;
+             if over_budget () then raise Exit;
+             decr qlen;
+             let node = batch.(i) in
+             List.iter
+               (fun (disturbed, granted, new_errors, node') ->
+                 incr transitions;
+                 List.iter
+                   (fun (id, wt) -> if wt > max_wait.(id) then max_wait.(id) <- wt)
+                   granted;
+                 match new_errors with
+                 | _ :: _ as failing ->
+                   deep_add parents node' (node, disturbed);
+                   verdict := rebuild node' failing;
+                   raise Exit
+                 | [] ->
+                   if not (seen node') then begin
+                     incr states;
+                     deep_add parents node' (node, disturbed);
+                     Queue.add node' queue;
+                     incr qlen;
+                     if !qlen > !waiting_peak then waiting_peak := !qlen
+                   end)
+               results)
+           expanded
+       done
+     end
    with Exit -> ());
   let elapsed = Unix.gettimeofday () -. t0 in
   if Obs.Trace_ctx.enabled () then begin
@@ -254,28 +331,31 @@ let explore_impl ~policy ~subsume ~instances ~deadline ~max_states specs =
     stats = { states = !states; transitions = !transitions; elapsed; max_wait };
   }
 
-let explore ~policy ~subsume ~instances ?deadline ?max_states specs =
+let explore ?pool ~policy ~subsume ~instances ?deadline ?max_states specs =
   (match deadline with
    | Some d when d <= 0. -> invalid_arg "Dverify: deadline must be positive"
    | _ -> ());
   (match max_states with
    | Some n when n < 1 -> invalid_arg "Dverify: max_states must be positive"
    | _ -> ());
+  let pool = match pool with Some p -> p | None -> Par.Pool.default () in
   Obs.Span.with_ "dverify" (fun () ->
-      explore_impl ~policy ~subsume ~instances ~deadline ~max_states specs)
+      explore_impl ~pool ~policy ~subsume ~instances ~deadline ~max_states specs)
 
-let verify ?(policy = Sched.Slot_state.Eager_preempt) ?(mode = `Subsumption)
-    ?deadline ?max_states specs =
+let verify ?pool ?(policy = Sched.Slot_state.Eager_preempt)
+    ?(mode = `Subsumption) ?deadline ?max_states specs =
   match mode with
   | `Bfs ->
-    explore ~policy ~subsume:false ~instances:None ?deadline ?max_states specs
+    explore ?pool ~policy ~subsume:false ~instances:None ?deadline ?max_states
+      specs
   | `Subsumption ->
-    explore ~policy ~subsume:true ~instances:None ?deadline ?max_states specs
+    explore ?pool ~policy ~subsume:true ~instances:None ?deadline ?max_states
+      specs
 
-let verify_bounded ?(policy = Sched.Slot_state.Eager_preempt) ?deadline
+let verify_bounded ?pool ?(policy = Sched.Slot_state.Eager_preempt) ?deadline
     ?max_states ~instances specs =
   if instances < 1 then invalid_arg "Dverify.verify_bounded: instances < 1";
-  explore ~policy ~subsume:true ~instances:(Some instances) ?deadline
+  explore ?pool ~policy ~subsume:true ~instances:(Some instances) ?deadline
     ?max_states specs
 
 let pp_counterexample specs ppf (ce : counterexample) =

@@ -55,6 +55,7 @@ type stats = {
 type result = { verdict : verdict; stats : stats }
 
 val verify :
+  ?pool:Par.Pool.t ->
   ?policy:Sched.Slot_state.policy ->
   ?mode:[ `Bfs | `Subsumption ] ->
   ?deadline:float ->
@@ -68,9 +69,17 @@ val verify :
     checked every 1024 expansions) and [max_states] bound the search;
     when either runs out the verdict is {!Undetermined} — never a
     silent [Safe].
+
+    [pool] (default {!Par.Pool.default}) parallelises state expansion
+    across domains when sized above 1: the front of the BFS queue is
+    expanded in batches and merged back in pop order, so verdicts,
+    counterexamples, [stats] and the state-budget cut-off are
+    byte-identical to the sequential run at any pool size.  (Deadline
+    cut-offs remain wall-clock dependent at every size, including 1.)
     @raise Invalid_argument when [deadline <= 0] or [max_states < 1]. *)
 
 val verify_bounded :
+  ?pool:Par.Pool.t ->
   ?policy:Sched.Slot_state.policy ->
   ?deadline:float ->
   ?max_states:int ->

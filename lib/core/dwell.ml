@@ -123,7 +123,7 @@ let analyse_wait_timed ?threshold p g ~j_star ~t_w =
     r
   end
 
-let compute ?threshold ?(stride = 1) p g ~j_star =
+let compute ?pool ?threshold ?(stride = 1) p g ~j_star =
   if stride < 1 then invalid_arg "Dwell.compute: stride must be >= 1";
   if j_star < 1 then invalid_arg "Dwell.compute: j_star must be >= 1";
   Obs.Span.with_ "dwell.compute" @@ fun () ->
@@ -147,12 +147,43 @@ let compute ?threshold ?(stride = 1) p g ~j_star =
     infeasible "requirement J* = %d unattainable: J_T = %d" j_star jt;
   if je <= j_star then
     infeasible "requirement J* = %d trivially met on ET: J_E = %d" j_star je;
-  let rec collect t_w acc =
-    match analyse_wait_timed ?threshold p g ~j_star ~t_w with
-    | None -> List.rev acc
-    | Some entry -> collect (t_w + stride) ((t_w, entry) :: acc)
+  let pool = match pool with Some p -> p | None -> Par.Pool.default () in
+  let jobs = Par.Pool.jobs pool in
+  let entries =
+    if jobs <= 1 then begin
+      let rec collect t_w acc =
+        match analyse_wait_timed ?threshold p g ~j_star ~t_w with
+        | None -> List.rev acc
+        | Some entry -> collect (t_w + stride) ((t_w, entry) :: acc)
+      in
+      collect 0 []
+    end
+    else begin
+      (* Rows are independent simulations, so precompute them in
+         stride-stepped chunks and consume each chunk in wait order,
+         stopping at the first infeasible wait exactly like the
+         sequential scan — any rows speculated past it are discarded
+         and the resulting table is identical. *)
+      let chunk = 2 * jobs in
+      let rec collect t_w0 acc =
+        let waits = List.init chunk (fun i -> t_w0 + (i * stride)) in
+        let rows =
+          Par.Pool.map_list pool
+            (fun t_w -> analyse_wait_timed ?threshold p g ~j_star ~t_w)
+            waits
+        in
+        let rec consume waits rows acc =
+          match (waits, rows) with
+          | [], [] -> collect (t_w0 + (chunk * stride)) acc
+          | t_w :: ws, Some entry :: rs -> consume ws rs ((t_w, entry) :: acc)
+          | _ :: _, None :: _ -> List.rev acc
+          | _ -> assert false
+        in
+        consume waits rows acc
+      in
+      collect 0 []
+    end
   in
-  let entries = collect 0 [] in
   match entries with
   | [] -> infeasible "no feasible wait time at all"
   | _ ->

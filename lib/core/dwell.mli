@@ -33,6 +33,7 @@ exception Infeasible of string
     closed-loop mode is unstable. *)
 
 val compute :
+  ?pool:Par.Pool.t ->
   ?threshold:float ->
   ?stride:int ->
   Control.Plant.t ->
@@ -41,7 +42,10 @@ val compute :
   t
 (** Simulate every switching combination with wait granularity [stride]
     (default 1; the paper's conservativeness/memory trade-off) and
-    build the table.  @raise Infeasible (see above). *)
+    build the table.  With [pool] (default {!Par.Pool.default}) sized
+    above 1, the per-[T_w] rows are simulated in parallel chunks and
+    merged in wait order — the table is byte-identical to the
+    sequential scan at any pool size.  @raise Infeasible (see above). *)
 
 val j_of : t -> Control.Plant.t -> Control.Switched.gains -> t_w:int -> t_dw:int -> int option
 (** Re-simulate one combination (for spot checks and plots). *)

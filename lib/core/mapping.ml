@@ -59,41 +59,107 @@ let escalating ?stage_deadline ?max_states ?(instances = 2)
            Dverify.pp_reason exact_reason instances Dverify.pp_reason
            bounded_reason))
 
-(* a verifier call with its latency fed to the per-group histogram *)
-let checked_verdict verifier specs =
-  if not (Obs.Trace_ctx.enabled ()) then verifier specs
-  else begin
-    Obs.Metric.count "mapping.model_checks" 1;
-    let t0 = Unix.gettimeofday () in
-    let v = verifier specs in
-    Obs.Metric.observe_value "mapping.verdict_s" (Unix.gettimeofday () -. t0);
-    v
-  end
+(* ------------------------------------------------------------------ *)
+(* Content-addressed verdict cache.  The key is a canonical (name-
+   sorted) serialisation of the group's timing parameters, so the same
+   subset probed again — by the other mapper, by an escalating retry,
+   or by a speculative parallel probe — reuses the verdict instead of
+   re-running reachability. *)
 
-let first_fit ?(verifier = default_verifier) ?(presorted = false) apps =
+type cache = verdict Par.Vcache.t
+
+let create_cache () = Par.Vcache.create ()
+let cache_stats c = (Par.Vcache.hits c, Par.Vcache.misses c)
+
+let fingerprint specs =
+  let ints a = String.concat "," (List.map string_of_int (Array.to_list a)) in
+  let entry (s : Sched.Appspec.t) =
+    Printf.sprintf "%s|%d|%s|%s|%d" s.Sched.Appspec.name
+      s.Sched.Appspec.t_w_max
+      (ints s.Sched.Appspec.t_dw_min)
+      (ints s.Sched.Appspec.t_dw_max)
+      s.Sched.Appspec.r
+  in
+  String.concat ";" (List.sort compare (List.map entry (Array.to_list specs)))
+
+let apply_verifier ?cache verifier specs =
+  match cache with
+  | None -> verifier specs
+  | Some c ->
+    Par.Vcache.find_or_add c (fingerprint specs) (fun () -> verifier specs)
+
+(* a probe with its latency, for the per-group verdict histogram *)
+let timed_probe ?cache verifier specs =
+  let t0 = Unix.gettimeofday () in
+  let v = apply_verifier ?cache verifier specs in
+  (v, Unix.gettimeofday () -. t0)
+
+let checked_verdict ?cache verifier specs =
+  let v, dt = timed_probe ?cache verifier specs in
+  if Obs.Trace_ctx.enabled () then begin
+    Obs.Metric.count "mapping.model_checks" 1;
+    Obs.Metric.observe_value "mapping.verdict_s" dt
+  end;
+  v
+
+let first_fit ?pool ?cache ?(verifier = default_verifier) ?(presorted = false)
+    apps =
   Obs.Span.with_ "mapping.first_fit" @@ fun () ->
+  let pool = match pool with Some p -> p | None -> Par.Pool.default () in
   let apps = if presorted then apps else sort_order apps in
   let count = ref 0 and undetermined = ref 0 in
-  let fits group app =
+  (* account for one *logical* probe — a group the sequential scan
+     would have verified.  Cache hits count too: [verifications] stays
+     the number of safety questions asked, not engine runs performed,
+     so the reported outcome is identical at any jobs count and any
+     cache warmth. *)
+  let consume (v, dt) =
     incr count;
     Obs.Metric.count "mapping.groups_tried" 1;
+    if Obs.Trace_ctx.enabled () then begin
+      Obs.Metric.count "mapping.model_checks" 1;
+      Obs.Metric.observe_value "mapping.verdict_s" dt
+    end;
     (* an undetermined group is conservatively treated as not fitting:
        the mapping only ever packs groups proved safe *)
-    match checked_verdict verifier (specs_of_group (group @ [ app ])) with
+    match v with
     | `Safe -> true
     | `Unsafe -> false
     | `Undetermined _ ->
       incr undetermined;
       false
   in
+  let probe group app =
+    timed_probe ?cache verifier (specs_of_group (group @ [ app ]))
+  in
   let place slots app =
-    let rec go = function
-      | [] -> None
-      | group :: rest ->
-        if fits group app then Some ((group @ [ app ]) :: rest)
-        else Option.map (fun r -> group :: r) (go rest)
-    in
-    match go slots with Some slots -> slots | None -> slots @ [ [ app ] ]
+    match slots with
+    | _ :: _ :: _ when Par.Pool.jobs pool > 1 ->
+      (* probe every candidate group of this round concurrently, then
+         replay the first-fit scan over the collected verdicts in slot
+         order.  Accounting covers exactly the prefix a sequential run
+         would have probed; the extra speculative verdicts are
+         discarded (and, with a cache, kept for later rounds). *)
+      let results = Par.Pool.map_list pool (fun g -> probe g app) slots in
+      let rec scan groups results =
+        match (groups, results) with
+        | [], [] -> None
+        | group :: rest, r :: more ->
+          if consume r then Some ((group @ [ app ]) :: rest)
+          else Option.map (fun t -> group :: t) (scan rest more)
+        | _ -> assert false
+      in
+      (match scan slots results with
+       | Some slots -> slots
+       | None -> slots @ [ [ app ] ])
+    | _ ->
+      let rec go = function
+        | [] -> None
+        | group :: rest ->
+          if consume (probe group app) then Some ((group @ [ app ]) :: rest)
+          else Option.map (fun r -> group :: r) (go rest)
+      in
+      (match go slots with Some slots -> slots | None -> slots @ [ [ app ] ])
   in
   let groups = List.fold_left place [] apps in
   {
@@ -118,7 +184,7 @@ let pp ppf t =
    calling the verifier.  The minimum partition into safe subsets is a
    DP over bitmasks. *)
 
-let optimal ?(verifier = default_verifier) apps =
+let optimal ?cache ?(verifier = default_verifier) apps =
   Obs.Span.with_ "mapping.optimal" @@ fun () ->
   let apps = Array.of_list apps in
   let n = Array.length apps in
@@ -155,7 +221,7 @@ let optimal ?(verifier = default_verifier) apps =
           else begin
             incr count;
             let group = List.map (fun i -> apps.(i)) ids in
-            match checked_verdict verifier (specs_of_group group) with
+            match checked_verdict ?cache verifier (specs_of_group group) with
             | `Safe -> true
             | `Unsafe -> false
             | `Undetermined _ ->

@@ -21,11 +21,30 @@ type slot = { index : int; apps : App.t list }
 
 type outcome = {
   slots : slot list;
-  verifications : int;  (** number of verifier calls performed *)
+  verifications : int;
+      (** number of group-safety questions asked (a question answered
+          from the verdict cache counts too, so the figure is identical
+          whatever the cache warmth or jobs count) *)
   undetermined : int;
       (** verifier calls that could not decide (each conservatively
           treated as unsafe) *)
 }
+
+type cache
+(** Content-addressed verdict cache: canonical group fingerprint →
+    verdict, mutex-protected (safe to share across domains and across
+    both mappers).  Sound because a verdict is a pure function of the
+    group's timing parameters — ids and probe order do not matter for
+    exhaustive verification. *)
+
+val create_cache : unit -> cache
+
+val cache_stats : cache -> int * int
+(** [(hits, misses)] so far. *)
+
+val fingerprint : Sched.Appspec.t array -> string
+(** The cache key: name-sorted [name|T*_w|T⁻_dw|T⁺_dw|r] entries —
+    invariant under group order and id assignment. *)
 
 val sort_order : App.t list -> App.t list
 (** The paper's sorting: ascending [T*_w], then ascending [T⁻*_dw],
@@ -51,9 +70,23 @@ val escalating :
     [accept_bounded] (default false) opts into trusting it.  When both
     stages give up the reason strings of both are reported. *)
 
-val first_fit : ?verifier:verifier -> ?presorted:bool -> App.t list -> outcome
+val first_fit :
+  ?pool:Par.Pool.t ->
+  ?cache:cache ->
+  ?verifier:verifier ->
+  ?presorted:bool ->
+  App.t list ->
+  outcome
 (** Run the mapping.  When [presorted] is false (default) the input is
-    sorted with {!sort_order} first. *)
+    sorted with {!sort_order} first.
+
+    With [pool] (default {!Par.Pool.default}) sized above 1, every
+    candidate group of a placement round is probed concurrently and the
+    verdicts are consumed in slot order with the sequential first-fit
+    tie-break, so the packing, [verifications] and [undetermined] are
+    byte-identical to a sequential run.  [cache] memoises verdicts by
+    {!fingerprint}; pass the same cache to both mappers (or across
+    calls) to skip repeated probes of the same subset. *)
 
 val specs_of_group : App.t list -> Sched.Appspec.t array
 (** Dense scheduler specs for a candidate group (ids assigned in list
@@ -61,7 +94,7 @@ val specs_of_group : App.t list -> Sched.Appspec.t array
 
 val pp : Format.formatter -> outcome -> unit
 
-val optimal : ?verifier:verifier -> App.t list -> outcome
+val optimal : ?cache:cache -> ?verifier:verifier -> App.t list -> outcome
 (** Exact minimum-slot partition (in contrast to the paper's first-fit
     heuristic).  Group safety is monotone — disturbing one application
     less can only shrink the adversary's options, so every superset of

@@ -36,22 +36,71 @@ let random_disturbances rng (apps : Core.App.t list) ~horizon =
       go (Faults.Prng.int rng ~bound:r) [])
     apps
 
-let run ?policy ?threshold ~spec ~seed ~runs ~horizon slots =
+(* the outcome of one monitored run, ready to fold into a slot summary
+   in (slot, run) order *)
+type trial = {
+  t_clean : bool;
+  t_settling : int;
+  t_wait : int;
+  t_dwell : int;
+  t_suppressed : int;
+  t_injected : int;
+  t_blackout : int;
+  t_losses : int;
+  t_drops : int;
+}
+
+let run ?pool ?policy ?threshold ~spec ~seed ~runs ~horizon slots =
   if runs < 1 then invalid_arg "Campaign.run: runs must be positive";
   if horizon < 1 then invalid_arg "Campaign.run: horizon must be positive";
-  let root = Faults.Prng.create seed in
+  let pool = match pool with Some p -> p | None -> Par.Pool.default () in
   let n_slots = List.length slots in
+  let slot_arr = Array.of_list slots in
+  (* Each trial is a pure function of (seed, slot, run): it derives its
+     own streams from a task-local PRNG root, so trials can run on any
+     domain in any order.  The campaign summary folds them back in
+     (slot, run) order and is byte-identical at any jobs count. *)
+  let trial (s, k) =
+    let apps = slot_arr.(s) in
+    let names =
+      Array.of_list
+        (List.map (fun (a : Core.App.t) -> (a.Core.App.name, a.Core.App.r)) apps)
+    in
+    let root = Faults.Prng.create seed in
+    let stream = Faults.Prng.split root ((k * n_slots) + s) in
+    let dist_rng = Faults.Prng.split stream 0 in
+    let plan_seed = Faults.Prng.next_int64 (Faults.Prng.split stream 1) in
+    let disturbances = random_disturbances dist_rng apps ~horizon in
+    let scenario = Scenario.make ~apps ~disturbances ~horizon in
+    match Faults.Plan.materialize ~spec ~seed:plan_seed ~apps:names ~horizon with
+    | Error e -> Error e
+    | Ok plan ->
+      let trace, fault_summary = Engine.run_with_faults ?policy ~plan scenario in
+      let report = Monitor.check ?threshold ~summary:fault_summary ~apps trace in
+      Ok
+        {
+          t_clean = report.Monitor.ok;
+          t_settling = Monitor.count report `Settling;
+          t_wait = Monitor.count report `Wait;
+          t_dwell = Monitor.count report `Dwell;
+          t_suppressed = Monitor.count report `Suppressed;
+          t_injected = List.length fault_summary.Engine.injected;
+          t_blackout = fault_summary.Engine.blackout_samples;
+          t_losses = fault_summary.Engine.et_losses;
+          t_drops = fault_summary.Engine.sensor_drops;
+        }
+  in
+  let pairs =
+    List.concat_map
+      (fun s -> List.init runs (fun k -> (s, k)))
+      (List.init n_slots (fun s -> s))
+  in
+  let results = Array.of_list (Par.Pool.map_list pool trial pairs) in
   let exception Materialize of string in
   try
     let slot_summaries =
       List.mapi
         (fun s apps ->
-          let names =
-            Array.of_list
-              (List.map
-                 (fun (a : Core.App.t) -> (a.Core.App.name, a.Core.App.r))
-                 apps)
-          in
           let acc =
             ref
               {
@@ -69,39 +118,24 @@ let run ?policy ?threshold ~spec ~seed ~runs ~horizon slots =
               }
           in
           for k = 0 to runs - 1 do
-            let stream = Faults.Prng.split root ((k * n_slots) + s) in
-            let dist_rng = Faults.Prng.split stream 0 in
-            let plan_seed = Faults.Prng.next_int64 (Faults.Prng.split stream 1) in
-            let disturbances = random_disturbances dist_rng apps ~horizon in
-            let scenario = Scenario.make ~apps ~disturbances ~horizon in
-            match
-              Faults.Plan.materialize ~spec ~seed:plan_seed ~apps:names ~horizon
-            with
+            (* first error in (slot, run) order wins, matching the
+               sequential raise *)
+            match results.((s * runs) + k) with
             | Error e -> raise (Materialize e)
-            | Ok plan ->
-              let trace, fault_summary =
-                Engine.run_with_faults ?policy ~plan scenario
-              in
-              let report =
-                Monitor.check ?threshold ~summary:fault_summary ~apps trace
-              in
+            | Ok t ->
               let a = !acc in
               acc :=
                 {
                   a with
-                  clean_runs = (a.clean_runs + if report.Monitor.ok then 1 else 0);
-                  j_star = a.j_star + Monitor.count report `Settling;
-                  wait = a.wait + Monitor.count report `Wait;
-                  dwell = a.dwell + Monitor.count report `Dwell;
-                  suppressed = a.suppressed + Monitor.count report `Suppressed;
-                  injected =
-                    a.injected
-                    + List.length fault_summary.Engine.injected;
-                  blackout_samples =
-                    a.blackout_samples + fault_summary.Engine.blackout_samples;
-                  et_losses = a.et_losses + fault_summary.Engine.et_losses;
-                  sensor_drops =
-                    a.sensor_drops + fault_summary.Engine.sensor_drops;
+                  clean_runs = (a.clean_runs + if t.t_clean then 1 else 0);
+                  j_star = a.j_star + t.t_settling;
+                  wait = a.wait + t.t_wait;
+                  dwell = a.dwell + t.t_dwell;
+                  suppressed = a.suppressed + t.t_suppressed;
+                  injected = a.injected + t.t_injected;
+                  blackout_samples = a.blackout_samples + t.t_blackout;
+                  et_losses = a.et_losses + t.t_losses;
+                  sensor_drops = a.sensor_drops + t.t_drops;
                 }
           done;
           !acc)

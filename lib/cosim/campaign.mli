@@ -31,6 +31,7 @@ type summary = {
 }
 
 val run :
+  ?pool:Par.Pool.t ->
   ?policy:Sched.Slot_state.policy ->
   ?threshold:float ->
   spec:Faults.Spec.t ->
@@ -40,7 +41,13 @@ val run :
   Core.App.t list list ->
   (summary, string) result
 (** [Error] reports a spec that does not materialise against a slot
-    group (e.g. an unknown application name). *)
+    group (e.g. an unknown application name).
+
+    With [pool] (default {!Par.Pool.default}) sized above 1, trials are
+    sharded across domains; each trial derives its streams from its own
+    [(seed, slot, run)]-indexed split, and results are merged back in
+    (slot, run) order — including error precedence — so the summary is
+    byte-identical at any jobs count. *)
 
 val pp : Format.formatter -> summary -> unit
 (** Deterministic: contains no wall-clock quantities. *)

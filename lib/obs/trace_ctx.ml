@@ -1,23 +1,34 @@
-let on = ref false
-let enabled () = !on
-let enable () = on := true
-let disable () = on := false
+(* All three pieces of context are domain-local: pool workers spawned by
+   Par see the switch off by default, so instrumentation on worker
+   domains short-circuits at the [enabled] check and never touches the
+   (unsynchronised) metric registry or span sink.  Under --jobs > 1 the
+   reports therefore cover the main domain's share of the work only. *)
+let on = Domain.DLS.new_key (fun () -> ref false)
+let enabled () = !(Domain.DLS.get on)
+let enable () = Domain.DLS.get on := true
+let disable () = Domain.DLS.get on := false
 
-let stack : int list ref = ref []
-let next_id = ref 0
+let stack : int list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let next_id = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_id () =
+  let next_id = Domain.DLS.get next_id in
   incr next_id;
   !next_id
 
-let current_parent () = match !stack with [] -> None | id :: _ -> Some id
-let push id = stack := id :: !stack
+let current_parent () =
+  match !(Domain.DLS.get stack) with [] -> None | id :: _ -> Some id
+
+let push id =
+  let stack = Domain.DLS.get stack in
+  stack := id :: !stack
 
 let pop id =
+  let stack = Domain.DLS.get stack in
   match !stack with
   | top :: rest when top = id -> stack := rest
   | _ -> stack := List.filter (fun x -> x <> id) !stack
 
 let reset () =
-  stack := [];
-  next_id := 0
+  Domain.DLS.get stack := [];
+  Domain.DLS.get next_id := 0

@@ -1,5 +1,9 @@
-(** Process-wide observability context: the master switch and the
-    current span nesting.
+(** Observability context: the master switch and the current span
+    nesting.  Both are {e domain-local}: [enable] flips the switch for
+    the calling domain only, so pool workers (which never call it) skip
+    all instrumentation at the {!enabled} check and cannot race on the
+    metric registry.  Under [--jobs > 1], reports consequently cover
+    the main domain's share of the work.
 
     Every instrumented call site guards itself with a single
     {!enabled} check; when the switch is off the instrumentation is a

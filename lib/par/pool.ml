@@ -1,0 +1,207 @@
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = { group : int; mutable cell : 'a state }
+
+(* Queue entries erase the result type: [run] computes the task and
+   stores the outcome into its future under the pool lock.  A plain
+   list is fine as the queue — submissions arrive in chunk-sized
+   batches (tens of entries), never per-element over large inputs. *)
+type t = {
+  m : Mutex.t;
+  cv : Condition.t;
+      (* signalled on: new work, a future resolving, shutdown *)
+  mutable queue : (int * (unit -> unit)) list;  (* FIFO, head oldest *)
+  mutable stop : bool;
+  n_jobs : int;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.n_jobs
+
+let fresh_group = Atomic.make 0
+
+let worker t =
+  Mutex.lock t.m;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.m
+    else
+      match t.queue with
+      | (_, run) :: rest ->
+        t.queue <- rest;
+        Mutex.unlock t.m;
+        run ();
+        Mutex.lock t.m;
+        loop ()
+      | [] ->
+        Condition.wait t.cv t.m;
+        loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Par.Pool.create: jobs must be >= 1";
+  let t =
+    {
+      m = Mutex.create ();
+      cv = Condition.create ();
+      queue = [];
+      stop = false;
+      n_jobs = jobs;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let submit_group t group f =
+  let fut = { group; cell = Pending } in
+  let run () =
+    let r =
+      try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.m;
+    fut.cell <- r;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m
+  in
+  Mutex.lock t.m;
+  t.queue <- t.queue @ [ (group, run) ];
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  fut
+
+let submit t f = submit_group t (Atomic.fetch_and_add fresh_group 1) f
+
+(* steal the oldest queued task of [group], if any (caller holds m) *)
+let pick_group t group =
+  let rec pick acc = function
+    | [] -> None
+    | ((g, run) as entry) :: rest ->
+      if g = group then begin
+        t.queue <- List.rev_append acc rest;
+        Some run
+      end
+      else pick (entry :: acc) rest
+  in
+  pick [] t.queue
+
+let await t fut =
+  Mutex.lock t.m;
+  let rec wait () =
+    match fut.cell with
+    | Done v ->
+      Mutex.unlock t.m;
+      v
+    | Failed (e, bt) ->
+      Mutex.unlock t.m;
+      Printexc.raise_with_backtrace e bt
+    | Pending -> (
+      (* help: run a queued task of the same group rather than idling —
+         this is what makes nested map_* calls on one pool deadlock-free
+         (the awaited task is either queued here, and we run it
+         ourselves, or already running on some domain that will
+         broadcast on completion) *)
+      match pick_group t fut.group with
+      | Some run ->
+        Mutex.unlock t.m;
+        run ();
+        Mutex.lock t.m;
+        wait ()
+      | None ->
+        Condition.wait t.cv t.m;
+        wait ())
+  in
+  wait ()
+
+let map_array t f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if t.n_jobs = 1 || n = 1 then Array.map f a
+  else begin
+    let size = (n + (t.n_jobs * 8) - 1) / (t.n_jobs * 8) in
+    let chunks = (n + size - 1) / size in
+    let group = Atomic.fetch_and_add fresh_group 1 in
+    let futures =
+      List.init chunks (fun c ->
+          let lo = c * size in
+          let hi = Int.min n (lo + size) in
+          submit_group t group (fun () ->
+              (* explicit loop: evaluate strictly in index order so the
+                 exception surfaced for a failing chunk is the one of
+                 its smallest index, as a sequential run would raise *)
+              let out = Array.make (hi - lo) (f a.(lo)) in
+              for i = 1 to hi - lo - 1 do
+                out.(i) <- f a.(lo + i)
+              done;
+              out))
+    in
+    Array.concat (List.map (fun fut -> await t fut) futures)
+  end
+
+let map_list t f l = Array.to_list (map_array t f (Array.of_list l))
+
+(* ------------------------------------------------------------------ *)
+(* process default *)
+
+let default_m = Mutex.create ()
+let default_pool : t option ref = ref None
+let requested : int option ref = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "CPSDIM_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> 1)
+
+let default_jobs () =
+  Mutex.lock default_m;
+  let j = match !requested with Some j -> j | None -> env_jobs () in
+  Mutex.unlock default_m;
+  j
+
+let default () =
+  Mutex.lock default_m;
+  match !default_pool with
+  | Some p ->
+    Mutex.unlock default_m;
+    p
+  | None ->
+    let j = match !requested with Some j -> j | None -> env_jobs () in
+    let p = create ~jobs:j in
+    default_pool := Some p;
+    Mutex.unlock default_m;
+    p
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Par.Pool.set_default_jobs: jobs must be >= 1";
+  Mutex.lock default_m;
+  requested := Some j;
+  match !default_pool with
+  | Some p when p.n_jobs <> j ->
+    default_pool := None;
+    Mutex.unlock default_m;
+    shutdown p
+  | Some _ | None -> Mutex.unlock default_m
+
+(* worker domains blocked on the condvar must be joined before process
+   teardown *)
+let () =
+  at_exit (fun () ->
+      Mutex.lock default_m;
+      let p = !default_pool in
+      default_pool := None;
+      Mutex.unlock default_m;
+      Option.iter shutdown p)

@@ -1,0 +1,71 @@
+(** A small fixed-size domain pool: spawn once, share a FIFO work queue,
+    hand out futures.  No libraries — just [Domain], [Mutex],
+    [Condition] and [Atomic] from the stdlib.
+
+    The pool is built for {e deterministic} parallelism: callers submit
+    pure tasks and merge the results themselves in a fixed order
+    ({!map_list}/{!map_array} already do so), which is how the mapping,
+    campaign, dwell and verification layers reproduce byte-identical
+    output at any [jobs] count.
+
+    Blocking [await] {e helps}: while the awaited future is pending, the
+    waiting domain executes queued tasks from the same submission group
+    instead of going idle.  Helping makes nested parallelism safe — a
+    task running on a worker may itself call {!map_array} on the same
+    pool without deadlock, and a pool with [jobs = 1] (no worker
+    domains at all) degenerates to plain in-order sequential execution. *)
+
+type t
+
+type 'a future
+
+val create : jobs:int -> t
+(** A pool executing on [jobs] domains in total: the caller plus
+    [jobs - 1] spawned workers.  [jobs = 1] spawns nothing.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task.  The closure must not depend on domain-local state
+    (it may run on any domain of the pool, including the caller's). *)
+
+val await : t -> 'a future -> 'a
+(** Block until the future is resolved, helping with same-group queued
+    tasks meanwhile.  Re-raises the task's exception (with its original
+    backtrace) if it failed. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel map preserving order.  Work is submitted in contiguous
+    chunks (several elements per future when the input is large, so the
+    queue overhead amortises) and the results are merged in index
+    order.  With [jobs = 1] this is exactly [Array.map].  If several
+    elements raise, the exception of the smallest index is re-raised —
+    the same one a sequential run would have surfaced. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_array} over a list, preserving order. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Only call when no task is in
+    flight; pending futures of a shut-down pool never resolve.
+    Idempotent. *)
+
+(** {2 Process default}
+
+    One shared pool, sized by the [--jobs] CLI flag or the
+    [CPSDIM_JOBS] environment variable (default 1 = sequential).  Every
+    parallel entry point ([Mapping.first_fit], [Campaign.run],
+    [Dwell.compute], [Dverify.verify]) falls back to this pool when no
+    explicit one is passed. *)
+
+val default : unit -> t
+(** The shared pool, created on first use with {!default_jobs}. *)
+
+val default_jobs : unit -> int
+(** Current default size: the last {!set_default_jobs}, else
+    [CPSDIM_JOBS], else 1. *)
+
+val set_default_jobs : int -> unit
+(** Resize the default pool (shutting the previous one down if its size
+    changes).  @raise Invalid_argument when [jobs < 1]. *)

@@ -1,0 +1,39 @@
+type 'a t = {
+  m : Mutex.t;
+  tbl : (string, 'a) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { m = Mutex.create (); tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let find_or_add c key compute =
+  Mutex.lock c.m;
+  match Hashtbl.find_opt c.tbl key with
+  | Some v ->
+    c.hits <- c.hits + 1;
+    Mutex.unlock c.m;
+    v
+  | None ->
+    c.misses <- c.misses + 1;
+    Mutex.unlock c.m;
+    (* compute outside the lock: reachability runs take seconds and must
+       not serialise unrelated probes.  A racing domain may insert the
+       same key first; both computed the same pure function, so
+       keep-first is fine. *)
+    let v = compute () in
+    Mutex.lock c.m;
+    if not (Hashtbl.mem c.tbl key) then Hashtbl.add c.tbl key v;
+    Mutex.unlock c.m;
+    v
+
+let locked c f =
+  Mutex.lock c.m;
+  let v = f () in
+  Mutex.unlock c.m;
+  v
+
+let hits c = locked c (fun () -> c.hits)
+let misses c = locked c (fun () -> c.misses)
+let length c = locked c (fun () -> Hashtbl.length c.tbl)

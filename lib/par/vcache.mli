@@ -1,0 +1,26 @@
+(** Content-addressed memo table, safe to share across domains.
+
+    Keys are canonical fingerprints (the caller guarantees that equal
+    fingerprints mean semantically identical inputs — e.g. a name-sorted
+    serialisation of a slot group).  Lookups and inserts are protected
+    by a mutex; the compute function itself runs {e outside} the lock,
+    so several domains may race to fill the same key — the first insert
+    wins and the verdict is identical either way because the computation
+    is a pure function of the fingerprint. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find_or_add c key compute] returns the cached value for [key],
+    computing and inserting it on a miss. *)
+
+val hits : 'a t -> int
+(** Number of [find_or_add] calls answered from the table. *)
+
+val misses : 'a t -> int
+(** Number of [find_or_add] calls that ran [compute]. *)
+
+val length : 'a t -> int
+(** Number of distinct keys currently stored. *)

@@ -7,6 +7,7 @@ type stats = {
   waiting_peak : int;
   inclusion_pruned : int;
   dedup_hits : int;
+  extrapolations : int;
 }
 
 type trace_step = { automaton : string; state : Network.state }
@@ -24,11 +25,10 @@ let pp_budget_reason ppf = function
   | Max_states n -> Format.fprintf ppf "state budget (%d states) exhausted" n
   | Deadline d -> Format.fprintf ppf "deadline (%.3fs) exceeded" d
 
-(* extrapolations performed by [fire] since the current [run] started;
-   module-level because [fire] is shared with the public [successors] *)
-let extrapolations = ref 0
-
-let fire net (state : Network.state) label edges =
+(* [extra] is a per-run extrapolation counter threaded in by the caller;
+   a module-global here would be corrupted by concurrent runs on
+   separate domains *)
+let fire ~extra net (state : Network.state) label edges =
   (* [edges] pairs each fired edge with its automaton index; for a
      binary synchronisation the sender comes first *)
   let zone =
@@ -67,14 +67,14 @@ let fire net (state : Network.state) label edges =
         if Network.delay_forbidden net locs then zone
         else Network.invariant_zone net locs store (Dbm.up zone)
       in
-      incr extrapolations;
+      incr extra;
       let zone = Dbm.extrapolate zone net.Network.clock_maxima in
       if Dbm.is_empty zone then None
       else Some (label, { Network.locs; store; zone })
     end
   end
 
-let successors net (state : Network.state) =
+let successors_counted ~extra net (state : Network.state) =
   let committed_present = Network.is_committed net state.Network.locs in
   let automata = net.Network.automata in
   let n = Array.length automata in
@@ -104,7 +104,7 @@ let successors net (state : Network.state) =
                 automata.(ai).Automaton.locations.(e.Automaton.src).Automaton.loc_name
                 automata.(ai).Automaton.locations.(e.Automaton.dst).Automaton.loc_name
             in
-            (match fire net state label [ (ai, e) ] with
+            (match fire ~extra net state label [ (ai, e) ] with
              | Some succ -> results := succ :: !results
              | None -> ()))
         (current_edges ai)
@@ -135,7 +135,10 @@ let successors net (state : Network.state) =
                           automata.(sender).Automaton.name chan
                           automata.(receiver).Automaton.name chan
                       in
-                      match fire net state label [ (sender, se); (receiver, re) ] with
+                      match
+                        fire ~extra net state label
+                          [ (sender, se); (receiver, re) ]
+                      with
                       | Some succ -> results := succ :: !results
                       | None -> ()
                     end
@@ -146,6 +149,8 @@ let successors net (state : Network.state) =
       (current_edges sender)
   done;
   List.rev !results
+
+let successors net state = successors_counted ~extra:(ref 0) net state
 
 (* The default polymorphic hash only inspects ~10 nodes, which makes
    symbolic states (similar location vectors, similar store prefixes)
@@ -163,7 +168,7 @@ let deep_find_opt tbl k = Deep_tbl.find_opt tbl (Obj.repr k)
 
 let run_impl ~max_states ~deadline ~inclusion net target =
   let t0 = Unix.gettimeofday () in
-  extrapolations := 0;
+  let extra = ref 0 in
   let dedup_hits = ref 0 and inclusion_pruned = ref 0 in
   let initial = Network.initial_state net in
   (* exact-match fast path: most revisits are zone-identical, so check
@@ -255,7 +260,7 @@ let run_impl ~max_states ~deadline ~inclusion net target =
              if Queue.length queue > !waiting_peak then
                waiting_peak := Queue.length queue
            end)
-         (successors net st)
+         (successors_counted ~extra net st)
      done
    with Exit -> ());
   let elapsed = Unix.gettimeofday () -. t0 in
@@ -264,7 +269,7 @@ let run_impl ~max_states ~deadline ~inclusion net target =
     Obs.Metric.count "ta.reach.transitions" !transitions;
     Obs.Metric.count "ta.reach.dedup_hits" !dedup_hits;
     Obs.Metric.count "ta.reach.inclusion_pruned" !inclusion_pruned;
-    Obs.Metric.count "ta.reach.extrapolations" !extrapolations;
+    Obs.Metric.count "ta.reach.extrapolations" !extra;
     Obs.Metric.max_gauge "ta.reach.waiting_peak" (float_of_int !waiting_peak);
     if elapsed > 0. then
       Obs.Metric.max_gauge "ta.reach.states_per_sec"
@@ -286,6 +291,7 @@ let run_impl ~max_states ~deadline ~inclusion net target =
         waiting_peak = !waiting_peak;
         inclusion_pruned = !inclusion_pruned;
         dedup_hits = !dedup_hits;
+        extrapolations = !extra;
       };
     trace = (match !found with Some st -> trace_of st | None -> []);
   }

@@ -16,6 +16,11 @@ type stats = {
   waiting_peak : int;  (** deepest the waiting queue ever got *)
   inclusion_pruned : int;  (** successors covered by a larger passed zone *)
   dedup_hits : int;  (** successors identical to a passed state *)
+  extrapolations : int;
+      (** zones widened by maximal-constant extrapolation.  Like every
+          field here this is accumulated in run-local state, so
+          concurrent [run]s on separate domains cannot corrupt each
+          other's counts. *)
 }
 
 type trace_step = {

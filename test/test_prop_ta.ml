@@ -1,0 +1,312 @@
+(* Differential property tests for the timed-automata layer.
+
+   Two independent semantics are pitted against each other:
+
+   - random DBM operation sequences are mirrored on an explicit set of
+     integer clock valuations, and membership must agree point for
+     point;
+   - zone-graph reachability ({!Ta.Reach}) is compared against an
+     exhaustive concrete-state enumeration built on {!Ta.Concrete} for
+     random small closed-guard automata.
+
+   Soundness of the integer-point mirror: all generated operations use
+   weak (<=) bounds and integer constants, so every zone is an integral
+   polyhedron and integer witnesses suffice for [up] (the witness lies
+   on the downward diagonal of the queried point) and [reset] (the
+   feasible interval of the freed clock has an integer endpoint).  The
+   mirror stores points in a finite box, so witnesses must stay inside
+   it: each derived DBM entry is bounded by the total magnitude of the
+   generated constants (OPS * CONST <= 8), hence a reset needs a
+   witness at most that far above an already-correct point.  Membership
+   is therefore only asserted on points up to [b_check], with the model
+   box [b_model] leaving OPS * (OPS * CONST) headroom for the chain of
+   reset witnesses. *)
+
+let ops_max = 4 (* operations per sequence *)
+let const_max = 2 (* largest constant in resets and constraints *)
+let b_check = 16 (* membership compared on [0..b_check]^2 *)
+let b_model = 48 (* >= b_check + ops_max * (ops_max * const_max) *)
+let n_clocks = 2
+
+(* ------------------------------------------------------------------ *)
+(* The mirror: a zone as the boolean grid of its integer points *)
+
+type model = bool array array (* m.(x).(y) over [0..b_model]^2 *)
+
+let model_zero () =
+  let m = Array.make_matrix (b_model + 1) (b_model + 1) false in
+  m.(0).(0) <- true;
+  m
+
+(* delay closure: a point is reachable if some point on its downward
+   diagonal was; row-major order makes this a linear-time recurrence *)
+let model_up (m : model) : model =
+  let out = Array.make_matrix (b_model + 1) (b_model + 1) false in
+  for x = 0 to b_model do
+    for y = 0 to b_model do
+      out.(x).(y) <-
+        m.(x).(y) || (x > 0 && y > 0 && out.(x - 1).(y - 1))
+    done
+  done;
+  out
+
+let model_reset (m : model) c v : model =
+  let out = Array.make_matrix (b_model + 1) (b_model + 1) false in
+  (match c with
+  | 1 ->
+    for y = 0 to b_model do
+      let feasible = ref false in
+      for w = 0 to b_model do
+        if m.(w).(y) then feasible := true
+      done;
+      if !feasible then out.(v).(y) <- true
+    done
+  | 2 ->
+    for x = 0 to b_model do
+      let feasible = ref false in
+      for w = 0 to b_model do
+        if m.(x).(w) then feasible := true
+      done;
+      if !feasible then out.(x).(v) <- true
+    done
+  | _ -> invalid_arg "model_reset");
+  out
+
+(* x_i - x_j <= k with x_0 = 0 *)
+let model_constrain (m : model) i j k : model =
+  Array.mapi
+    (fun x row ->
+      Array.mapi
+        (fun y v ->
+          let value = function 0 -> 0 | 1 -> x | _ -> y in
+          v && value i - value j <= k)
+        row)
+    m
+
+let model_is_empty (m : model) =
+  not (Array.exists (Array.exists Fun.id) m)
+
+(* ------------------------------------------------------------------ *)
+(* Random operation sequences, applied to both representations *)
+
+type op = Up | Reset of int * int | Constrain of int * int * int
+
+let apply_dbm z = function
+  | Up -> Ta.Dbm.up z
+  | Reset (c, v) -> Ta.Dbm.reset z c v
+  | Constrain (i, j, k) -> Ta.Dbm.constrain z i j (Ta.Dbm.le k)
+
+let apply_model m = function
+  | Up -> model_up m
+  | Reset (c, v) -> model_reset m c v
+  | Constrain (i, j, k) -> model_constrain m i j k
+
+let gen_op =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Up;
+        (let* c = int_range 1 n_clocks in
+         let* v = int_range 0 const_max in
+         return (Reset (c, v)));
+        (let* i = int_range 0 n_clocks in
+         let* dj = int_range 1 n_clocks in
+         let* k = int_range (-const_max) const_max in
+         return (Constrain (i, (i + dj) mod (n_clocks + 1), k)));
+      ])
+
+let gen_ops = QCheck2.Gen.(list_size (int_range 0 ops_max) gen_op)
+
+let build ops =
+  List.fold_left
+    (fun (z, m) op -> (apply_dbm z op, apply_model m op))
+    (Ta.Dbm.zero n_clocks, model_zero ())
+    ops
+
+let pp_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Up -> "up"
+         | Reset (c, v) -> Printf.sprintf "r%d:=%d" c v
+         | Constrain (i, j, k) -> Printf.sprintf "x%d-x%d<=%d" i j k)
+       ops)
+
+let prop_dbm_matches_points =
+  QCheck2.Test.make ~name:"DBM ops = integer point set" ~count:300
+    ~print:pp_ops gen_ops (fun ops ->
+      let z, m = build ops in
+      let ok = ref (Ta.Dbm.is_empty z = model_is_empty m) in
+      for x = 0 to b_check do
+        for y = 0 to b_check do
+          if Ta.Dbm.contains_point z [| 0; x; y |] <> m.(x).(y) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let prop_includes_implies_subset =
+  QCheck2.Test.make ~name:"includes implies point subset" ~count:300
+    ~print:(fun (a, b) -> pp_ops a ^ " | " ^ pp_ops b)
+    QCheck2.Gen.(pair gen_ops gen_ops)
+    (fun (ops1, ops2) ->
+      let z1, m1 = build ops1 and z2, m2 = build ops2 in
+      (not (Ta.Dbm.includes z1 z2))
+      ||
+      let ok = ref true in
+      for x = 0 to b_check do
+        for y = 0 to b_check do
+          if m2.(x).(y) && not (m1.(x).(y)) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_up_and_extrapolate_widen =
+  QCheck2.Test.make ~name:"up and extrapolation only widen" ~count:300
+    ~print:pp_ops gen_ops (fun ops ->
+      let z, _ = build ops in
+      Ta.Dbm.includes z z
+      && Ta.Dbm.includes (Ta.Dbm.up z) z
+      && Ta.Dbm.includes
+           (Ta.Dbm.extrapolate z [| 0; const_max; const_max |])
+           z)
+
+(* ------------------------------------------------------------------ *)
+(* Zone reachability vs concrete enumeration *)
+
+(* Random networks of 1-2 automata over 2 shared clocks, closed guards
+   (Le/Ge/Eq) against constants <= guard_max, resets to zero, Normal
+   locations, no invariants, no synchronisation.  For this fragment
+   integer-time execution is exact, and per-clock saturating counters
+   capped just above the largest constant are a finite exact
+   abstraction (guards never compare clocks to each other). *)
+
+let guard_max = 3
+let clock_cap = guard_max + 1
+
+let gen_automaton name =
+  QCheck2.Gen.(
+    let* n_locs = int_range 2 3 in
+    let gen_guard =
+      let* clock = int_range 1 n_clocks in
+      let* cmp = oneofl [ Ta.Automaton.Le; Ta.Automaton.Ge; Ta.Automaton.Eq ] in
+      let* c = int_range 0 guard_max in
+      return (Ta.Automaton.guard_const clock cmp c)
+    in
+    let gen_edge =
+      let* src = int_range 0 (n_locs - 1) in
+      let* dst = int_range 0 (n_locs - 1) in
+      let* guards = list_size (int_range 0 2) gen_guard in
+      let* reset_x = bool in
+      let* reset_y = bool in
+      let resets =
+        (if reset_x then [ (1, 0) ] else [])
+        @ if reset_y then [ (2, 0) ] else []
+      in
+      return (Ta.Automaton.edge ~guards ~resets ~src ~dst ())
+    in
+    let* n_edges = int_range 1 4 in
+    let* edges = list_repeat n_edges gen_edge in
+    return
+      (Ta.Automaton.make ~name
+         ~locations:
+           (Array.init n_locs (fun i ->
+                Ta.Automaton.location (Printf.sprintf "%s%d" name i)))
+         ~initial:0 ~edges))
+
+let gen_net =
+  QCheck2.Gen.(
+    let* n_auto = int_range 1 2 in
+    let* automata =
+      flatten_l
+        (List.init n_auto (fun i ->
+             gen_automaton (String.make 1 (Char.chr (Char.code 'A' + i)))))
+    in
+    return
+      (Ta.Network.make
+         ~automata:(Array.of_list automata)
+         ~clock_names:[| "x"; "y" |] ~channel_names:[||] ~initial_store:[||]
+         ~clock_maxima:[| guard_max; guard_max |]))
+
+(* all reachable location vectors by exhaustive concrete execution *)
+let oracle_reachable net =
+  let norm (s : Ta.Concrete.state) =
+    let clocks =
+      Array.mapi
+        (fun i v -> if i = 0 then 0 else Int.min v clock_cap)
+        s.Ta.Concrete.clocks
+    in
+    { s with Ta.Concrete.clocks; time = 0 }
+  in
+  let key (s : Ta.Concrete.state) =
+    (Array.to_list s.Ta.Concrete.locs, Array.to_list s.Ta.Concrete.clocks)
+  in
+  let seen = Hashtbl.create 64 in
+  let locsets = Hashtbl.create 16 in
+  let q = Queue.create () in
+  let push s =
+    let s = norm s in
+    let k = key s in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k ();
+      Hashtbl.replace locsets (Array.to_list s.Ta.Concrete.locs) ();
+      Queue.add s q
+    end
+  in
+  push (Ta.Concrete.initial net);
+  while not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    if Ta.Concrete.can_delay net s then
+      push (fst (Ta.Concrete.step net (fun _ _ -> None) s));
+    List.iter
+      (fun a -> push (fst (Ta.Concrete.step net (fun _ _ -> Some a) s)))
+      (Ta.Concrete.enabled net s)
+  done;
+  locsets
+
+(* every location vector of the product *)
+let all_combos (net : Ta.Network.t) =
+  Array.fold_right
+    (fun (a : Ta.Automaton.t) acc ->
+      List.concat_map
+        (fun rest ->
+          List.init (Array.length a.Ta.Automaton.locations) (fun l ->
+              l :: rest))
+        acc)
+    net.Ta.Network.automata [ [] ]
+
+let prop_reach_matches_concrete =
+  QCheck2.Test.make ~name:"zone reachability = concrete enumeration"
+    ~count:200 gen_net (fun net ->
+      let oracle = oracle_reachable net in
+      List.for_all
+        (fun combo ->
+          let target = Array.of_list combo in
+          let zone =
+            match
+              (Ta.Reach.run ~max_states:50_000 net
+                 (fun ~locs ~store:_ -> locs = target))
+                .Ta.Reach.outcome
+            with
+            | Ta.Reach.Hit _ -> true
+            | Ta.Reach.Unreachable -> false
+            | Ta.Reach.Exhausted _ ->
+              QCheck2.Test.fail_report "budget exhausted on a tiny net"
+          in
+          zone = Hashtbl.mem oracle combo)
+        (all_combos net))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "prop_ta"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_dbm_matches_points;
+            prop_includes_implies_subset;
+            prop_up_and_extrapolate_widen;
+            prop_reach_matches_concrete;
+          ] );
+    ]
