@@ -830,6 +830,71 @@ let par_snapshot () =
       print_endline "wrote BENCH_par.json")
 
 (* ------------------------------------------------------------------ *)
+(* Search-engine snapshot: throughput of the unified lib/search engine
+   under its two production instantiations (zone-graph reachability and
+   the discrete adversary), written to BENCH_search.json.  Also asserts
+   the order-independence contract: BFS and DFS must return the same
+   Safe/Unsafe verdict on every group even though their state counts
+   differ — a divergence means the frontier order leaked into the
+   answer, which fails the bench. *)
+
+let search_snapshot () =
+  section "X12" "Search-engine snapshot — BENCH_search.json (BFS/DFS, states/sec)";
+  let specs_of names = Core.Mapping.specs_of_group (List.map find_app names) in
+  let s2 = specs_of [ "C6"; "C2" ] and pair = specs_of [ "C1"; "C5" ] in
+  (* order-independence: every engine, both orders, same verdict *)
+  let dv_verdict order specs =
+    match (Core.Dverify.verify ~order specs).Core.Dverify.verdict with
+    | Core.Dverify.Safe -> "safe"
+    | Core.Dverify.Unsafe _ -> "unsafe"
+    | Core.Dverify.Undetermined _ -> "undec"
+  in
+  let ta_verdict order specs =
+    match (Core.Ta_model.verify ~order ~inclusion:false specs).Core.Ta_model.outcome with
+    | `Safe -> "safe"
+    | `Unsafe -> "unsafe"
+    | `Undetermined _ -> "undec"
+  in
+  List.iter
+    (fun (label, specs) ->
+      let db = dv_verdict `Bfs specs and dd = dv_verdict `Dfs specs in
+      let tb = ta_verdict `Bfs specs and td = ta_verdict `Dfs specs in
+      Printf.printf "  %-12s discrete bfs=%s dfs=%s | zones bfs=%s dfs=%s\n"
+        label db dd tb td;
+      if db <> dd || tb <> td then
+        failwith
+          (Printf.sprintf "search snapshot: %s verdict depends on order" label))
+    [ ("S2={C6,C2}", s2); ("{C1,C5}", pair) ];
+  print_endline "  verdicts order-independent";
+  Obs.Metric.reset ();
+  Obs.Span.reset ();
+  Obs.Trace_ctx.reset ();
+  Obs.Trace_ctx.enable ();
+  Fun.protect ~finally:Obs.Trace_ctx.disable (fun () ->
+      let gauge name (states : int) (elapsed : float) =
+        let v = float_of_int states /. Float.max 1e-9 elapsed in
+        Obs.Metric.set_gauge name v;
+        Printf.printf "  %-34s %9d states %10.0f states/sec\n" name states v
+      in
+      let r = Core.Dverify.verify s2 in
+      gauge "bench.search.dverify_s2"
+        r.Core.Dverify.stats.Core.Dverify.states
+        r.Core.Dverify.stats.Core.Dverify.elapsed;
+      let rt = Core.Ta_model.verify ~inclusion:false s2 in
+      gauge "bench.search.reach_s2" rt.Core.Ta_model.stats.Ta.Reach.states
+        rt.Core.Ta_model.stats.Ta.Reach.elapsed;
+      let rp = Core.Ta_model.verify ~inclusion:false pair in
+      gauge "bench.search.reach_c1c5" rp.Core.Ta_model.stats.Ta.Reach.states
+        rp.Core.Ta_model.stats.Ta.Reach.elapsed;
+      Obs.Metric.set_gauge "bench.search.order_independent" 1.;
+      let report = Obs.Report.collect ~command:"bench-search" () in
+      let oc = open_out "BENCH_search.json" in
+      output_string oc (Obs.Report.json_to_string (Obs.Report.to_json report));
+      output_char oc '\n';
+      close_out oc;
+      print_endline "wrote BENCH_search.json")
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -852,6 +917,7 @@ let sections =
     ("obs", obs_snapshot);
     ("faults", faults_snapshot);
     ("par", par_snapshot);
+    ("search", search_snapshot);
   ]
 
 (* no arguments runs everything; otherwise each argument names one

@@ -59,7 +59,7 @@ let apply_jobs jobs =
   if jobs > 0 then Par.Pool.set_default_jobs jobs
 
 (* exit codes: 0 = safe, 2 = unsafe, 3 = undetermined (budget ran out) *)
-let verify_cmd_run engine bound deadline jobs names =
+let verify_cmd_run engine order bound deadline jobs names =
   apply_jobs jobs;
   match parse_apps names with
   | Error (`Msg m) -> prerr_endline m; 1
@@ -78,7 +78,7 @@ let verify_cmd_run engine bound deadline jobs names =
     (match engine with
      | `Discrete | `Bfs ->
        let mode = if engine = `Bfs then `Bfs else `Subsumption in
-       let r = Core.Dverify.verify ~mode ?deadline specs in
+       let r = Core.Dverify.verify ~order ~mode ?deadline specs in
        Format.printf "%a@.states=%d transitions=%d elapsed=%.2fs@."
          (Core.Dverify.pp_verdict specs) r.Core.Dverify.verdict
          r.Core.Dverify.stats.Core.Dverify.states
@@ -86,7 +86,7 @@ let verify_cmd_run engine bound deadline jobs names =
          r.Core.Dverify.stats.Core.Dverify.elapsed;
        discrete_exit r
      | `Bounded ->
-       let r = Core.Dverify.verify_bounded ?deadline ~instances:bound specs in
+       let r = Core.Dverify.verify_bounded ~order ?deadline ~instances:bound specs in
        Format.printf "%a (bounded, %d instances/app)@.states=%d elapsed=%.2fs@."
          (Core.Dverify.pp_verdict specs) r.Core.Dverify.verdict bound
          r.Core.Dverify.stats.Core.Dverify.states
@@ -96,7 +96,7 @@ let verify_cmd_run engine bound deadline jobs names =
         | Core.Dverify.Unsafe _ -> 2
         | Core.Dverify.Undetermined _ -> 3)
      | `Ta ->
-       let r = Core.Ta_model.verify ?deadline specs in
+       let r = Core.Ta_model.verify ~order ?deadline specs in
        (match r.Core.Ta_model.outcome with
         | `Undetermined reason ->
           Format.printf "undetermined: %a (%d symbolic states)@."
@@ -114,13 +114,13 @@ let verify_cmd_run engine bound deadline jobs names =
 (* ------------------------------------------------------------------ *)
 (* map *)
 
-let map_cmd_run with_baseline optimal jobs =
+let map_cmd_run with_baseline optimal order jobs =
   apply_jobs jobs;
   let apps = List.map (fun (a : Casestudy.app) -> app_of_name a.Casestudy.name) Casestudy.all in
   let cache = Core.Mapping.create_cache () in
   let outcome =
-    if optimal then Core.Mapping.optimal ~cache apps
-    else Core.Mapping.first_fit ~cache apps
+    if optimal then Core.Mapping.optimal ~cache ~order apps
+    else Core.Mapping.first_fit ~cache ~order apps
   in
   Format.printf "%a@." Core.Mapping.pp outcome;
   if with_baseline then begin
@@ -481,6 +481,16 @@ let engine_arg =
     & opt (enum [ ("discrete", `Discrete); ("bfs", `Bfs); ("bounded", `Bounded); ("ta", `Ta) ]) `Discrete
     & info [ "e"; "engine" ] ~doc:"Verification engine: discrete (subsumption), bfs, bounded, or ta (zone-based).")
 
+let order_arg =
+  Arg.(
+    value
+    & opt (enum [ ("bfs", `Bfs); ("dfs", `Dfs) ]) `Bfs
+    & info [ "order" ] ~docv:"ORDER"
+        ~doc:
+          "Frontier order for the state-space search: bfs (default) or dfs.  \
+           The Safe/Unsafe verdict is order-independent; state counts and \
+           counterexample witnesses may differ.")
+
 let bound_arg =
   Arg.(value & opt int 2 & info [ "k"; "instances" ] ~doc:"Disturbance instances per app for -e bounded.")
 
@@ -506,9 +516,10 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Model-check a slot group")
     (with_obs "verify"
        Term.(
-         const (fun engine bound deadline jobs names () ->
-             verify_cmd_run engine bound deadline jobs names)
-         $ engine_arg $ bound_arg $ deadline_arg $ jobs_arg $ names_arg))
+         const (fun engine order bound deadline jobs names () ->
+             verify_cmd_run engine order bound deadline jobs names)
+         $ engine_arg $ order_arg $ bound_arg $ deadline_arg $ jobs_arg
+         $ names_arg))
 
 let baseline_arg =
   Arg.(value & flag & info [ "b"; "baseline" ] ~doc:"Also run the DATE'12 baseline packing.")
@@ -520,8 +531,9 @@ let map_cmd =
   Cmd.v (Cmd.info "map" ~doc:"Slot mapping of the case study (first-fit or exact)")
     (with_obs "map"
        Term.(
-         const (fun baseline optimal jobs () -> map_cmd_run baseline optimal jobs)
-         $ baseline_arg $ optimal_arg $ jobs_arg))
+         const (fun baseline optimal order jobs () ->
+             map_cmd_run baseline optimal order jobs)
+         $ baseline_arg $ optimal_arg $ order_arg $ jobs_arg))
 
 let disturbances_arg =
   Arg.(value & opt_all string [] & info [ "d"; "disturb" ] ~docv:"SAMPLE:APP" ~doc:"Disturbance arrival, e.g. -d 0:C1.")

@@ -87,22 +87,18 @@ let arrival_orders (specs : Sched.Appspec.t array) subset =
 
 type node = { st : Sched.Slot_state.t; budget : int array }
 
-(* The default polymorphic hash inspects only ~10 nodes, which makes
-   structurally similar scheduler states collide heavily; hash deeply. *)
-module Deep_tbl = Hashtbl.Make (struct
-  type t = Obj.t
+(* the label of a transition: the adversary's move plus the tick
+   outcome the merge loop needs (slot grants for max_wait, fresh
+   errors for the verdict) — carrying it on the edge keeps the
+   successor function pure, so the engine may run it on any domain *)
+type move = {
+  disturbed : int list;
+  granted : (int * int) list;
+  new_errors : int list;
+}
 
-  let equal = ( = )
-  let hash k = Hashtbl.hash_param 1000 1000 k
-end)
-
-let deep_mem tbl k = Deep_tbl.mem tbl (Obj.repr k)
-let deep_add tbl k v = Deep_tbl.replace tbl (Obj.repr k) v
-let deep_find_opt tbl k = Deep_tbl.find_opt tbl (Obj.repr k)
-
-let explore_impl ~pool ~policy ~subsume ~instances ~deadline ~max_states specs =
-  let t0 = Unix.gettimeofday () in
-  let prune_hits = ref 0 and waiting_peak = ref 0 in
+let explore_impl ~pool ~order ~policy ~subsume ~instances ~deadline ~max_states
+    specs =
   let n = Array.length specs in
   let max_wait = Array.make n (-1) in
   let bounded = instances <> None in
@@ -119,9 +115,6 @@ let explore_impl ~pool ~policy ~subsume ~instances ~deadline ~max_states specs =
   let initial =
     { st = Sched.Slot_state.initial specs; budget = initial_budget }
   in
-  let visited : unit Deep_tbl.t = Deep_tbl.create 4096 in
-  let parents : (node * int list) Deep_tbl.t = Deep_tbl.create 4096 in
-  let chains : int array list Deep_tbl.t = Deep_tbl.create 4096 in
   let abstract node =
     let st = node.st in
     let ages = Array.make (Array.length st.Sched.Slot_state.phases) (-1) in
@@ -135,64 +128,12 @@ let explore_impl ~pool ~policy ~subsume ~instances ~deadline ~max_states specs =
           | Sched.Slot_state.Steady | Waiting _ | Running _ | Error -> p)
         st.Sched.Slot_state.phases
     in
-    ((masked, st.buffer, st.owner, node.budget), ages)
+    ((masked, st.Sched.Slot_state.buffer, st.Sched.Slot_state.owner, node.budget), ages)
   in
   let covers explored ages =
     (* [explored] admits every behaviour of [ages]: pointwise at least
        as close to becoming disturbable again *)
     Array.for_all2 (fun e a -> e = a || (a >= 0 && e >= a)) explored ages
-  in
-  let seen node =
-    if subsume then begin
-      let key, ages = abstract node in
-      let chain = Option.value ~default:[] (deep_find_opt chains key) in
-      if List.exists (fun e -> covers e ages) chain then begin
-        incr prune_hits;
-        true
-      end
-      else begin
-        let chain = ages :: List.filter (fun e -> not (covers ages e)) chain in
-        deep_add chains key chain;
-        false
-      end
-    end
-    else if deep_mem visited node then begin
-      incr prune_hits;
-      true
-    end
-    else begin
-      deep_add visited node ();
-      false
-    end
-  in
-  let rebuild last failing =
-    let rec walk nd acc =
-      match deep_find_opt parents nd with
-      | None -> acc
-      | Some (parent, move) -> walk parent ((move, nd.st) :: acc)
-    in
-    Unsafe { steps = walk last []; failing }
-  in
-  let queue = Queue.create () in
-  ignore (seen initial);
-  Queue.add initial queue;
-  let states = ref 1 and transitions = ref 0 in
-  let verdict = ref Safe in
-  (* the state budget is checked on every pop; wall-clock checks are
-     amortised so the syscall does not dominate cheap expansions *)
-  let pops = ref 0 in
-  let over_budget () =
-    (match max_states with
-     | Some cap when !states >= cap ->
-       verdict := Undetermined (State_budget cap);
-       true
-     | _ -> false)
-    ||
-    match deadline with
-    | Some d when !pops land 1023 = 0 && Unix.gettimeofday () -. t0 > d ->
-      verdict := Undetermined (Deadline d);
-      true
-    | _ -> false
   in
   let moves_of node =
     let available =
@@ -202,136 +143,112 @@ let explore_impl ~pool ~policy ~subsume ~instances ~deadline ~max_states specs =
     in
     List.concat_map (arrival_orders specs) (subsets available)
   in
-  let jobs = Par.Pool.jobs pool in
-  (try
-     if jobs <= 1 then
-       (* the reference FIFO loop, untouched *)
-       while not (Queue.is_empty queue) do
-         incr pops;
-         if over_budget () then raise Exit;
-         let node = Queue.pop queue in
-         List.iter
-           (fun disturbed ->
-             incr transitions;
-             let st', outcome =
-               Sched.Slot_state.tick ~policy specs node.st ~disturbed
-             in
-             List.iter
-               (fun (id, wt) -> if wt > max_wait.(id) then max_wait.(id) <- wt)
-               outcome.Sched.Slot_state.granted;
-             let budget' =
-               if (not bounded) || disturbed = [] then node.budget
-               else begin
-                 let b = Array.copy node.budget in
-                 List.iter (fun id -> b.(id) <- b.(id) - 1) disturbed;
-                 b
-               end
-             in
-             let node' = { st = normalize st' budget'; budget = budget' } in
-             match outcome.Sched.Slot_state.new_errors with
-             | _ :: _ as failing ->
-               deep_add parents node' (node, disturbed);
-               verdict := rebuild node' failing;
-               raise Exit
-             | [] ->
-               if not (seen node') then begin
-                 incr states;
-                 deep_add parents node' (node, disturbed);
-                 Queue.add node' queue;
-                 if Queue.length queue > !waiting_peak then
-                   waiting_peak := Queue.length queue
-               end)
-           (moves_of node)
-       done
-     else begin
-       (* Batched variant: grab the first K queued nodes (exactly the
-          next K sequential pops — children always land behind them),
-          expand them in parallel with pure work only, then merge the
-          expansions in pop order, replaying the reference loop's
-          side effects verbatim.  Verdicts, counterexamples, counters
-          and max_wait are byte-identical to jobs = 1; the only
-          speculation is expansion past an error or state budget within
-          one batch, and those results are simply discarded.  [qlen]
-          emulates the sequential Queue.length (the batch's pending
-          pops still count) so waiting_peak agrees too. *)
-       let qlen = ref 1 in
-       let expand node =
-         List.map
-           (fun disturbed ->
-             let st', outcome =
-               Sched.Slot_state.tick ~policy specs node.st ~disturbed
-             in
-             let budget' =
-               if (not bounded) || disturbed = [] then node.budget
-               else begin
-                 let b = Array.copy node.budget in
-                 List.iter (fun id -> b.(id) <- b.(id) - 1) disturbed;
-                 b
-               end
-             in
-             let node' = { st = normalize st' budget'; budget = budget' } in
-             ( disturbed,
-               outcome.Sched.Slot_state.granted,
-               outcome.Sched.Slot_state.new_errors,
-               node' ))
-           (moves_of node)
-       in
-       while not (Queue.is_empty queue) do
-         let k = Int.min (Queue.length queue) (jobs * 4) in
-         let batch = Array.make k initial in
-         for i = 0 to k - 1 do
-           batch.(i) <- Queue.pop queue
-         done;
-         let expanded = Par.Pool.map_array pool expand batch in
-         Array.iteri
-           (fun i results ->
-             incr pops;
-             if over_budget () then raise Exit;
-             decr qlen;
-             let node = batch.(i) in
-             List.iter
-               (fun (disturbed, granted, new_errors, node') ->
-                 incr transitions;
-                 List.iter
-                   (fun (id, wt) -> if wt > max_wait.(id) then max_wait.(id) <- wt)
-                   granted;
-                 match new_errors with
-                 | _ :: _ as failing ->
-                   deep_add parents node' (node, disturbed);
-                   verdict := rebuild node' failing;
-                   raise Exit
-                 | [] ->
-                   if not (seen node') then begin
-                     incr states;
-                     deep_add parents node' (node, disturbed);
-                     Queue.add node' queue;
-                     incr qlen;
-                     if !qlen > !waiting_peak then waiting_peak := !qlen
-                   end)
-               results)
-           expanded
-       done
-     end
-   with Exit -> ());
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let module Space = Search.Make (struct
+    type state = node
+    type label = move
+
+    module Key = struct
+      type t = node
+
+      let equal a b = Sched.Slot_state.equal a.st b.st && a.budget = b.budget
+
+      (* the default polymorphic hash inspects only ~10 nodes, which
+         makes structurally similar scheduler states collide heavily;
+         hash deeply (on typed fields — no [Obj] anywhere) *)
+      let hash nd =
+        Hashtbl.hash_param 1000 1000
+          ( nd.st.Sched.Slot_state.phases,
+            nd.st.Sched.Slot_state.buffer,
+            nd.st.Sched.Slot_state.owner,
+            nd.budget )
+    end
+
+    let key nd = nd
+
+    let successors node =
+      List.map
+        (fun disturbed ->
+          let st', outcome =
+            Sched.Slot_state.tick ~policy specs node.st ~disturbed
+          in
+          let budget' =
+            if (not bounded) || disturbed = [] then node.budget
+            else begin
+              let b = Array.copy node.budget in
+              List.iter (fun id -> b.(id) <- b.(id) - 1) disturbed;
+              b
+            end
+          in
+          ( {
+              disturbed;
+              granted = outcome.Sched.Slot_state.granted;
+              new_errors = outcome.Sched.Slot_state.new_errors;
+            },
+            { st = normalize st' budget'; budget = budget' } ))
+        (moves_of node)
+
+    let is_target label _ =
+      match label with
+      | Some m -> m.new_errors <> []
+      | None -> false
+  end) in
+  let coverage =
+    if not subsume then None
+    else
+      Some
+        (Space.Coverage
+           {
+             split = abstract;
+             ck_equal = ( = );
+             ck_hash = Hashtbl.hash_param 1000 1000;
+             covers;
+           })
+  in
+  let r =
+    Space.run ~order ~pool ~exact:(not subsume) ?coverage ?max_states
+      ~max_states_check:`Pop ?deadline ~deadline_mask:1023
+      ~target_check:`Generate
+      ~on_edge:(fun m _ ->
+        List.iter
+          (fun (id, wt) -> if wt > max_wait.(id) then max_wait.(id) <- wt)
+          m.granted)
+      ~initial_peak:0 ~metrics_prefix:"dverify" initial
+  in
+  let s = r.Space.stats in
+  let verdict =
+    match r.Space.outcome with
+    | Space.Completed -> Safe
+    | Space.Found _ ->
+      let steps = List.map (fun (m, nd) -> (m.disturbed, nd.st)) r.Space.trace in
+      let failing =
+        match List.rev r.Space.trace with
+        | (m, _) :: _ -> m.new_errors
+        | [] -> assert false (* the initial state is never an error *)
+      in
+      Unsafe { steps; failing }
+    | Space.Exhausted (Search.Max_states cap) -> Undetermined (State_budget cap)
+    | Space.Exhausted (Search.Deadline d) -> Undetermined (Deadline d)
+  in
   if Obs.Trace_ctx.enabled () then begin
-    Obs.Metric.count "dverify.states" !states;
-    Obs.Metric.count "dverify.transitions" !transitions;
-    Obs.Metric.count "dverify.prune_hits" !prune_hits;
-    Obs.Metric.max_gauge "dverify.waiting_peak" (float_of_int !waiting_peak);
-    (match !verdict with
-     | Undetermined _ -> Obs.Metric.count "dverify.undetermined" 1
-     | Safe | Unsafe _ -> ());
-    if elapsed > 0. then
-      Obs.Metric.max_gauge "dverify.states_per_sec"
-        (float_of_int !states /. elapsed)
+    Obs.Metric.count "dverify.prune_hits"
+      (s.Search.dedup_hits + s.Search.cover_hits);
+    match verdict with
+    | Undetermined _ -> Obs.Metric.count "dverify.undetermined" 1
+    | Safe | Unsafe _ -> ()
   end;
   {
-    verdict = !verdict;
-    stats = { states = !states; transitions = !transitions; elapsed; max_wait };
+    verdict;
+    stats =
+      {
+        states = s.Search.states;
+        transitions = s.Search.transitions;
+        elapsed = s.Search.elapsed;
+        max_wait;
+      };
   }
 
-let explore ?pool ~policy ~subsume ~instances ?deadline ?max_states specs =
+let explore ?pool ?(order = `Bfs) ~policy ~subsume ~instances ?deadline
+    ?max_states specs =
   (match deadline with
    | Some d when d <= 0. -> invalid_arg "Dverify: deadline must be positive"
    | _ -> ());
@@ -339,24 +256,26 @@ let explore ?pool ~policy ~subsume ~instances ?deadline ?max_states specs =
    | Some n when n < 1 -> invalid_arg "Dverify: max_states must be positive"
    | _ -> ());
   let pool = match pool with Some p -> p | None -> Par.Pool.default () in
+  let order = match order with `Bfs -> Search.Bfs | `Dfs -> Search.Dfs in
   Obs.Span.with_ "dverify" (fun () ->
-      explore_impl ~pool ~policy ~subsume ~instances ~deadline ~max_states specs)
+      explore_impl ~pool ~order ~policy ~subsume ~instances ~deadline
+        ~max_states specs)
 
-let verify ?pool ?(policy = Sched.Slot_state.Eager_preempt)
+let verify ?pool ?order ?(policy = Sched.Slot_state.Eager_preempt)
     ?(mode = `Subsumption) ?deadline ?max_states specs =
   match mode with
   | `Bfs ->
-    explore ?pool ~policy ~subsume:false ~instances:None ?deadline ?max_states
-      specs
+    explore ?pool ?order ~policy ~subsume:false ~instances:None ?deadline
+      ?max_states specs
   | `Subsumption ->
-    explore ?pool ~policy ~subsume:true ~instances:None ?deadline ?max_states
-      specs
+    explore ?pool ?order ~policy ~subsume:true ~instances:None ?deadline
+      ?max_states specs
 
-let verify_bounded ?pool ?(policy = Sched.Slot_state.Eager_preempt) ?deadline
-    ?max_states ~instances specs =
+let verify_bounded ?pool ?order ?(policy = Sched.Slot_state.Eager_preempt)
+    ?deadline ?max_states ~instances specs =
   if instances < 1 then invalid_arg "Dverify.verify_bounded: instances < 1";
-  explore ?pool ~policy ~subsume:true ~instances:(Some instances) ?deadline
-    ?max_states specs
+  explore ?pool ?order ~policy ~subsume:true ~instances:(Some instances)
+    ?deadline ?max_states specs
 
 let pp_counterexample specs ppf (ce : counterexample) =
   Format.fprintf ppf "@[<v>";

@@ -56,6 +56,7 @@ type result = { verdict : verdict; stats : stats }
 
 val verify :
   ?pool:Par.Pool.t ->
+  ?order:[ `Bfs | `Dfs ] ->
   ?policy:Sched.Slot_state.policy ->
   ?mode:[ `Bfs | `Subsumption ] ->
   ?deadline:float ->
@@ -76,10 +77,18 @@ val verify :
     counterexamples, [stats] and the state-budget cut-off are
     byte-identical to the sequential run at any pool size.  (Deadline
     cut-offs remain wall-clock dependent at every size, including 1.)
+
+    [order] (default [`Bfs]) picks the frontier order of the
+    underlying {!Search} engine.  Depth-first explores the same
+    reachable space and can never flip a Safe/Unsafe answer, but
+    counterexamples and state counts may differ, and only the FIFO
+    order is eligible for batched parallel expansion — [`Dfs] always
+    runs sequentially.
     @raise Invalid_argument when [deadline <= 0] or [max_states < 1]. *)
 
 val verify_bounded :
   ?pool:Par.Pool.t ->
+  ?order:[ `Bfs | `Dfs ] ->
   ?policy:Sched.Slot_state.policy ->
   ?deadline:float ->
   ?max_states:int ->

@@ -16,12 +16,19 @@ let sort_order apps =
 let specs_of_group group =
   Array.of_list (List.mapi (fun i a -> App.spec a ~id:i) group)
 
-let default_verifier specs : verdict =
-  match (Dverify.verify ~mode:`Subsumption specs).Dverify.verdict with
+(* the default verifier parameterised by the engine's frontier order:
+   Safe/Unsafe is order-independent, so [`Dfs] only changes the shape
+   of the search, never the packing *)
+let ordered_verifier order specs : verdict =
+  match
+    (Dverify.verify ~order ~mode:`Subsumption specs).Dverify.verdict
+  with
   | Dverify.Safe -> `Safe
   | Dverify.Unsafe _ -> `Unsafe
   | Dverify.Undetermined reason ->
     `Undetermined (Format.asprintf "%a" Dverify.pp_reason reason)
+
+let default_verifier specs = ordered_verifier `Bfs specs
 
 (* graceful-degradation verifier: exact subsumption first; when its
    budget runs out, retry with the paper's bounded-instance
@@ -102,8 +109,11 @@ let checked_verdict ?cache verifier specs =
   end;
   v
 
-let first_fit ?pool ?cache ?(verifier = default_verifier) ?(presorted = false)
+let first_fit ?pool ?cache ?(order = `Bfs) ?verifier ?(presorted = false)
     apps =
+  let verifier =
+    match verifier with Some v -> v | None -> ordered_verifier order
+  in
   Obs.Span.with_ "mapping.first_fit" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Par.Pool.default () in
   let apps = if presorted then apps else sort_order apps in
@@ -184,7 +194,10 @@ let pp ppf t =
    calling the verifier.  The minimum partition into safe subsets is a
    DP over bitmasks. *)
 
-let optimal ?cache ?(verifier = default_verifier) apps =
+let optimal ?cache ?(order = `Bfs) ?verifier apps =
+  let verifier =
+    match verifier with Some v -> v | None -> ordered_verifier order
+  in
   Obs.Span.with_ "mapping.optimal" @@ fun () ->
   let apps = Array.of_list apps in
   let n = Array.length apps in

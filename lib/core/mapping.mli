@@ -73,6 +73,7 @@ val escalating :
 val first_fit :
   ?pool:Par.Pool.t ->
   ?cache:cache ->
+  ?order:[ `Bfs | `Dfs ] ->
   ?verifier:verifier ->
   ?presorted:bool ->
   App.t list ->
@@ -86,7 +87,10 @@ val first_fit :
     tie-break, so the packing, [verifications] and [undetermined] are
     byte-identical to a sequential run.  [cache] memoises verdicts by
     {!fingerprint}; pass the same cache to both mappers (or across
-    calls) to skip repeated probes of the same subset. *)
+    calls) to skip repeated probes of the same subset.  [order]
+    (default [`Bfs]) sets the frontier order of the default verifier
+    (ignored when [verifier] is supplied); packings are
+    order-independent because Safe/Unsafe is. *)
 
 val specs_of_group : App.t list -> Sched.Appspec.t array
 (** Dense scheduler specs for a candidate group (ids assigned in list
@@ -94,7 +98,12 @@ val specs_of_group : App.t list -> Sched.Appspec.t array
 
 val pp : Format.formatter -> outcome -> unit
 
-val optimal : ?cache:cache -> ?verifier:verifier -> App.t list -> outcome
+val optimal :
+  ?cache:cache ->
+  ?order:[ `Bfs | `Dfs ] ->
+  ?verifier:verifier ->
+  App.t list ->
+  outcome
 (** Exact minimum-slot partition (in contrast to the paper's first-fit
     heuristic).  Group safety is monotone — disturbing one application
     less can only shrink the adversary's options, so every superset of

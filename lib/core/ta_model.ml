@@ -314,10 +314,12 @@ type result = {
   stats : Ta.Reach.stats;
 }
 
-let verify ?(max_states = 2_000_000) ?deadline ?(inclusion = false) specs =
+let verify ?order ?(max_states = 2_000_000) ?deadline ?(inclusion = false)
+    specs =
   let net = build specs in
   let r =
-    Ta.Reach.run ~max_states ?deadline ~inclusion net (error_target specs)
+    Ta.Reach.run ?order ~max_states ?deadline ~inclusion net
+      (error_target specs)
   in
   let outcome =
     match r.Ta.Reach.outcome with

@@ -28,6 +28,7 @@ type result = {
 }
 
 val verify :
+  ?order:[ `Bfs | `Dfs ] ->
   ?max_states:int ->
   ?deadline:float ->
   ?inclusion:bool ->
@@ -35,6 +36,8 @@ val verify :
   result
 (** Zone-based model checking of the group (default cap 2,000,000
     symbolic states; [deadline] is a wall-clock budget in seconds).
+    [order] picks the {!Ta.Reach} frontier order — the Safe/Unsafe
+    answer is order-independent.
     [inclusion] (default [false]) switches {!Ta.Reach.run} to
     zone-inclusion pruning; the tick-driven zones of this model are
     point-like, so exact matching is usually faster. *)

@@ -1,0 +1,385 @@
+type budget_reason = Max_states of int | Deadline of float
+
+type stats = {
+  states : int;
+  transitions : int;
+  elapsed : float;
+  waiting_peak : int;
+  dedup_hits : int;
+  cover_hits : int;
+}
+
+type 'state order = Bfs | Dfs | Priority of ('state -> int)
+
+module type STATE_SPACE = sig
+  type state
+  type label
+
+  module Key : Hashtbl.HashedType
+
+  val key : state -> Key.t
+  val successors : state -> (label * state) list
+  val is_target : label option -> state -> bool
+end
+
+(* A chained hash table whose equality and hash are runtime values, so
+   the coverage antichain can be keyed by an existentially-typed group
+   key without a functor application per client. *)
+module Ht = struct
+  type ('k, 'v) t = {
+    equal : 'k -> 'k -> bool;
+    hash : 'k -> int;
+    mutable buckets : ('k * 'v) list array;
+    mutable size : int;
+  }
+
+  let create ~equal ~hash n =
+    { equal; hash; buckets = Array.make (Int.max 16 n) []; size = 0 }
+
+  let index t k = t.hash k land max_int mod Array.length t.buckets
+
+  let find_opt t k =
+    let rec go = function
+      | [] -> None
+      | (k', v) :: rest -> if t.equal k k' then Some v else go rest
+    in
+    go t.buckets.(index t k)
+
+  let grow t =
+    let old = t.buckets in
+    t.buckets <- Array.make (2 * Array.length old) [];
+    Array.iter
+      (List.iter (fun ((k, _) as cell) ->
+           let i = index t k in
+           t.buckets.(i) <- cell :: t.buckets.(i)))
+      old
+
+  let replace t k v =
+    let i = index t k in
+    let bucket = t.buckets.(i) in
+    if List.exists (fun (k', _) -> t.equal k k') bucket then
+      t.buckets.(i) <-
+        (k, v) :: List.filter (fun (k', _) -> not (t.equal k k')) bucket
+    else begin
+      t.buckets.(i) <- (k, v) :: bucket;
+      t.size <- t.size + 1;
+      if t.size > 2 * Array.length t.buckets then grow t
+    end
+end
+
+(* Minimal binary min-heap over (score, seq): FIFO among equal scores,
+   so Priority degenerates to Bfs under a constant score. *)
+module Heap = struct
+  type t = {
+    mutable a : (int * int * int) array;  (* score, seq, payload *)
+    mutable n : int;
+  }
+
+  let create () = { a = Array.make 64 (0, 0, 0); n = 0 }
+  let lt (s1, q1, _) (s2, q2, _) = s1 < s2 || (s1 = s2 && q1 < q2)
+
+  let push t cell =
+    if t.n = Array.length t.a then begin
+      let bigger = Array.make (2 * t.n) cell in
+      Array.blit t.a 0 bigger 0 t.n;
+      t.a <- bigger
+    end;
+    t.a.(t.n) <- cell;
+    t.n <- t.n + 1;
+    let i = ref (t.n - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      lt t.a.(!i) t.a.(p)
+      && begin
+           let tmp = t.a.(p) in
+           t.a.(p) <- t.a.(!i);
+           t.a.(!i) <- tmp;
+           i := p;
+           true
+         end
+    do
+      ()
+    done
+
+  let pop t =
+    let top = t.a.(0) in
+    t.n <- t.n - 1;
+    t.a.(0) <- t.a.(t.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < t.n && lt t.a.(l) t.a.(!m) then m := l;
+      if r < t.n && lt t.a.(r) t.a.(!m) then m := r;
+      if !m = !i then continue := false
+      else begin
+        let tmp = t.a.(!m) in
+        t.a.(!m) <- t.a.(!i);
+        t.a.(!i) <- tmp;
+        i := !m
+      end
+    done;
+    let _, _, payload = top in
+    payload
+end
+
+module Make (S : STATE_SPACE) = struct
+  type coverage =
+    | Coverage : {
+        split : S.state -> 'ck * 'abs;
+        ck_equal : 'ck -> 'ck -> bool;
+        ck_hash : 'ck -> int;
+        covers : 'abs -> 'abs -> bool;
+      }
+        -> coverage
+
+  type outcome =
+    | Found of S.state
+    | Completed
+    | Exhausted of budget_reason
+
+  type result = {
+    outcome : outcome;
+    stats : stats;
+    trace : (S.label * S.state) list;
+  }
+
+  module Xt = Hashtbl.Make (S.Key)
+
+  type frontier =
+    | Q of int Queue.t
+    | Stack of int list ref
+    | H of Heap.t * (S.state -> int)
+
+  let run ?(order = Bfs) ?pool ?(exact = true) ?coverage ?max_states
+      ?(max_states_check = `Insert) ?deadline ?(deadline_mask = 255)
+      ?(target_check = `Insert) ?on_edge ?on_insert ?(initial_peak = 0)
+      ?metrics_prefix initial =
+    let t0 = Unix.gettimeofday () in
+    (* dense state store: insertion order assigns ids, the parent table
+       and the frontier hold ids, never whole structural states *)
+    let store = ref (Array.make 1024 initial) in
+    let parent = ref (Array.make 1024 None) in
+    let nstored = ref 0 in
+    let add_state st =
+      if !nstored = Array.length !store then begin
+        let bigger = Array.make (2 * !nstored) initial in
+        Array.blit !store 0 bigger 0 !nstored;
+        store := bigger;
+        let bigger = Array.make (2 * !nstored) None in
+        Array.blit !parent 0 bigger 0 !nstored;
+        parent := bigger
+      end;
+      !store.(!nstored) <- st;
+      incr nstored;
+      !nstored - 1
+    in
+    let state_of id = !store.(id) in
+    (* dedup: exact table over the client key, then the coverage
+       antichain; a query that misses both inserts into both *)
+    let xt : unit Xt.t = Xt.create 4096 in
+    let dedup_hits = ref 0 and cover_hits = ref 0 in
+    let cover_seen =
+      Option.map
+        (fun (Coverage c) ->
+          let tbl = Ht.create ~equal:c.ck_equal ~hash:c.ck_hash 4096 in
+          fun st ->
+            let k, abs = c.split st in
+            let chain = Option.value ~default:[] (Ht.find_opt tbl k) in
+            if List.exists (fun e -> c.covers e abs) chain then true
+            else begin
+              Ht.replace tbl k
+                (abs :: List.filter (fun e -> not (c.covers abs e)) chain);
+              false
+            end)
+        coverage
+    in
+    let seen st =
+      if exact then begin
+        let k = S.key st in
+        if Xt.mem xt k then begin
+          incr dedup_hits;
+          true
+        end
+        else
+          match cover_seen with
+          | Some f when f st ->
+            incr cover_hits;
+            true
+          | Some _ | None ->
+            Xt.replace xt k ();
+            false
+      end
+      else
+        match cover_seen with
+        | Some f when f st ->
+          incr cover_hits;
+          true
+        | Some _ | None -> false
+    in
+    let frontier =
+      match order with
+      | Bfs -> Q (Queue.create ())
+      | Dfs -> Stack (ref [])
+      | Priority score -> H (Heap.create (), score)
+    in
+    let seq = ref 0 in
+    let fpush id st =
+      match frontier with
+      | Q q -> Queue.add id q
+      | Stack s -> s := id :: !s
+      | H (h, score) ->
+        incr seq;
+        Heap.push h (score st, !seq, id)
+    in
+    let fpop () =
+      match frontier with
+      | Q q -> Queue.pop q
+      | Stack s -> (
+        match !s with
+        | id :: rest ->
+          s := rest;
+          id
+        | [] -> assert false)
+      | H (h, _) -> Heap.pop h
+    in
+    let fempty () =
+      match frontier with
+      | Q q -> Queue.is_empty q
+      | Stack s -> !s = []
+      | H (h, _) -> h.Heap.n = 0
+    in
+    (* [qlen] tracks the frontier depth a sequential run would see —
+       in the batched loop the batch's still-unmerged pops count as
+       popped, so waiting_peak agrees with jobs = 1 byte for byte *)
+    let qlen = ref 0 and waiting_peak = ref initial_peak in
+    let states = ref 1 and transitions = ref 0 in
+    let found = ref (-1) in
+    let exhausted = ref None in
+    let pops = ref 0 in
+    let deadline_hit () =
+      match deadline with
+      | Some d
+        when !pops land deadline_mask = 0 && Unix.gettimeofday () -. t0 > d ->
+        exhausted := Some (Deadline d);
+        true
+      | _ -> false
+    in
+    let pop_budget () =
+      (match (max_states, max_states_check) with
+       | Some cap, `Pop when !states >= cap ->
+         exhausted := Some (Max_states cap);
+         true
+       | _ -> false)
+      || deadline_hit ()
+    in
+    let process parent_id (label, succ) =
+      incr transitions;
+      (match on_edge with Some f -> f label succ | None -> ());
+      if target_check = `Generate && S.is_target (Some label) succ then begin
+        let id = add_state succ in
+        !parent.(id) <- Some (parent_id, label);
+        found := id;
+        raise_notrace Exit
+      end;
+      if not (seen succ) then begin
+        let id = add_state succ in
+        incr states;
+        !parent.(id) <- Some (parent_id, label);
+        (match on_insert with Some f -> f succ | None -> ());
+        if target_check = `Insert && S.is_target (Some label) succ then begin
+          found := id;
+          raise_notrace Exit
+        end;
+        (match (max_states, max_states_check) with
+         | Some cap, `Insert when !states >= cap ->
+           exhausted := Some (Max_states cap);
+           raise_notrace Exit
+         | _ -> ());
+        fpush id succ;
+        incr qlen;
+        if !qlen > !waiting_peak then waiting_peak := !qlen
+      end
+    in
+    (* seed with the initial state (id 0) *)
+    let id0 = add_state initial in
+    ignore (seen initial);
+    (match on_insert with Some f -> f initial | None -> ());
+    fpush id0 initial;
+    qlen := 1;
+    if target_check = `Insert && S.is_target None initial then found := id0;
+    let jobs = match pool with Some p -> Par.Pool.jobs p | None -> 1 in
+    let batched = match order with Bfs -> jobs > 1 | Dfs | Priority _ -> false in
+    (try
+       if not batched then
+         while (not (fempty ())) && !found < 0 do
+           incr pops;
+           if pop_budget () then raise_notrace Exit;
+           let id = fpop () in
+           decr qlen;
+           List.iter (process id) (S.successors (state_of id))
+         done
+       else begin
+         let pool = Option.get pool in
+         let q = match frontier with Q q -> q | Stack _ | H _ -> assert false in
+         while not (Queue.is_empty q) do
+           let k = Int.min (Queue.length q) (jobs * 4) in
+           let batch = Array.make k id0 in
+           for i = 0 to k - 1 do
+             batch.(i) <- Queue.pop q
+           done;
+           let expanded =
+             Par.Pool.map_array pool (fun id -> S.successors (state_of id)) batch
+           in
+           Array.iteri
+             (fun i succs ->
+               incr pops;
+               if pop_budget () then raise_notrace Exit;
+               decr qlen;
+               List.iter (process batch.(i)) succs)
+             expanded
+         done
+       end
+     with Exit -> ());
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (match metrics_prefix with
+     | Some p when Obs.Trace_ctx.enabled () ->
+       Obs.Metric.count (p ^ ".states") !states;
+       Obs.Metric.count (p ^ ".transitions") !transitions;
+       Obs.Metric.max_gauge (p ^ ".waiting_peak") (float_of_int !waiting_peak);
+       if elapsed > 0. then
+         Obs.Metric.max_gauge (p ^ ".states_per_sec")
+           (float_of_int !states /. elapsed)
+     | Some _ | None -> ());
+    let trace =
+      if !found < 0 then []
+      else begin
+        let rec walk id acc =
+          match !parent.(id) with
+          | None -> acc
+          | Some (pid, label) -> walk pid ((label, state_of id) :: acc)
+        in
+        walk !found []
+      end
+    in
+    let outcome =
+      if !found >= 0 then Found (state_of !found)
+      else match !exhausted with Some r -> Exhausted r | None -> Completed
+    in
+    {
+      outcome;
+      stats =
+        {
+          states = !states;
+          transitions = !transitions;
+          elapsed;
+          waiting_peak = !waiting_peak;
+          dedup_hits = !dedup_hits;
+          cover_hits = !cover_hits;
+        };
+      trace;
+    }
+end

@@ -65,11 +65,7 @@ let enabled net state =
     | Automaton.Committed -> true
     | Automaton.Urgent | Automaton.Normal -> false
   in
-  let current_edges ai =
-    List.filter
-      (fun e -> e.Automaton.src = state.locs.(ai))
-      automata.(ai).Automaton.edges
-  in
+  let current_edges ai = net.Network.edge_index.(ai).(state.locs.(ai)) in
   let actions = ref [] in
   for ai = 0 to n - 1 do
     List.iter
@@ -215,3 +211,56 @@ let prefer pred _state actions =
   match List.find_opt (fun a -> pred a.label) actions with
   | Some _ as a -> a
   | None -> (match actions with [] -> None | a :: _ -> Some a)
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive enumeration, as an instantiation of the generic {!Search}
+   engine: the differential oracle that pins zone-graph reachability
+   against concrete integer-time execution.  The caller supplies the
+   finite abstraction ([norm], e.g. saturating clock counters) that
+   makes the space finite. *)
+
+let enumerate ?(max_states = 1_000_000) ~norm net =
+  let acc = ref [] in
+  let module Space = Search.Make (struct
+    type nonrec state = state
+    type label = unit
+
+    module Key = struct
+      type nonrec t = state
+
+      let equal (a : state) (b : state) =
+        a.locs = b.locs && a.store = b.store && a.clocks = b.clocks
+        && a.time = b.time
+
+      let hash (s : state) =
+        Hashtbl.hash_param 1000 1000 (s.locs, s.store, s.clocks, s.time)
+    end
+
+    let key s = s
+
+    let successors s =
+      let delay =
+        if can_delay net s then
+          [ ((), norm (fst (step net (fun _ _ -> None) s))) ]
+        else []
+      in
+      delay
+      @ List.map
+          (fun a -> ((), norm (fst (step net (fun _ _ -> Some a) s))))
+          (enabled net s)
+
+    let is_target _ _ = false
+  end) in
+  let r =
+    Space.run ~max_states ~max_states_check:`Insert
+      ~on_insert:(fun s -> acc := s :: !acc)
+      (norm (initial net))
+  in
+  match r.Space.outcome with
+  | Space.Exhausted reason ->
+    failwith
+      (Format.asprintf "Concrete.enumerate: %a" Search.(fun ppf -> function
+         | Max_states n -> Format.fprintf ppf "state budget (%d) exhausted" n
+         | Deadline d -> Format.fprintf ppf "deadline (%.3fs) exceeded" d)
+         reason)
+  | Space.Found _ | Space.Completed -> List.rev !acc

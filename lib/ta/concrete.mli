@@ -61,3 +61,15 @@ val first_enabled : policy
 val prefer : (string -> bool) -> policy
 (** Fire the first action whose label satisfies the predicate, else the
     first enabled one, else delay. *)
+
+val enumerate :
+  ?max_states:int -> norm:(state -> state) -> Network.t -> state list
+(** All states reachable under the caller-supplied finite abstraction
+    [norm] (applied to the initial state and every successor before
+    deduplication — e.g. saturating clock counters for closed-guard
+    fragments), in BFS discovery order.  Successors of a state are the
+    unit delay (when admissible) followed by every enabled action, each
+    normalised.  An instantiation of the generic {!Search} engine; the
+    differential test suite uses it as the concrete oracle against
+    zone-graph reachability.
+    @raise Failure when [max_states] (default 1_000_000) is hit. *)

@@ -154,7 +154,19 @@ let extrapolate t maxima =
   end
 
 let equal a b = a.n = b.n && a.m = b.m
-let hash t = Hashtbl.hash t.m
+
+(* The default polymorphic hash only inspects a bounded prefix of the
+   bound matrix, so canonical DBMs that share early rows (the common
+   case: similar zones over the same clocks) collide massively.  Mix
+   every bound instead, FNV-1a style — this is also the interning hash
+   of {!Reach}'s hash-consed zone store, where collision quality
+   directly bounds lookup cost. *)
+let hash t =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length t.m - 1 do
+    h := (!h lxor t.m.(i)) * 0x01000193
+  done;
+  (!h + t.n) land max_int
 
 let contains_point t v =
   if Array.length v <> t.n + 1 then invalid_arg "Dbm.contains_point";

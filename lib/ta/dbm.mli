@@ -57,7 +57,12 @@ val extrapolate : t -> int array -> t
     Guarantees a finite zone graph. *)
 
 val equal : t -> t -> bool
+
 val hash : t -> int
+(** Deep: mixes every bound of the matrix, so structurally similar
+    zones do not collide the way the shallow polymorphic hash makes
+    them.  [equal]/[hash] satisfy [Hashtbl.HashedType] — {!Reach} uses
+    them to hash-cons zones. *)
 
 val contains_point : t -> int array -> bool
 (** Does the zone contain the integer valuation [v] ([v.(0)] must be

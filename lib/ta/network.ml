@@ -5,6 +5,7 @@ type t = {
   channel_names : string array;
   initial_store : Automaton.store;
   clock_maxima : int array;
+  edge_index : Automaton.edge list array array;
 }
 
 type state = { locs : int array; store : Automaton.store; zone : Dbm.t }
@@ -14,6 +15,16 @@ let make ~automata ~clock_names ~channel_names ~initial_store ~clock_maxima =
   if Array.length clock_maxima <> clock_count then
     invalid_arg "Network.make: clock_maxima must cover every clock";
   if Array.length automata = 0 then invalid_arg "Network.make: no automata";
+  (* per-(automaton, location) outgoing edges, in declaration order —
+     the same order the explorers used to recover by filtering
+     [Automaton.edges] on every single expansion *)
+  let edge_index =
+    Array.map
+      (fun (a : Automaton.t) ->
+        Array.init (Array.length a.Automaton.locations) (fun l ->
+            List.filter (fun e -> e.Automaton.src = l) a.Automaton.edges))
+      automata
+  in
   {
     automata;
     clock_count;
@@ -21,6 +32,7 @@ let make ~automata ~clock_names ~channel_names ~initial_store ~clock_maxima =
     channel_names;
     initial_store;
     clock_maxima = Array.append [| 0 |] clock_maxima;
+    edge_index;
   }
 
 let is_committed t locs =

@@ -10,6 +10,11 @@ type t = {
   initial_store : Automaton.store;
   clock_maxima : int array;
       (** extrapolation constants, length clock_count + 1 *)
+  edge_index : Automaton.edge list array array;
+      (** [edge_index.(ai).(loc)]: outgoing edges of automaton [ai] at
+          location [loc], in declaration order — precomputed by {!make}
+          so explorers need not re-filter [Automaton.edges] on every
+          expansion *)
 }
 
 val make :

@@ -12,7 +12,9 @@ type stats = {
 
 type trace_step = { automaton : string; state : Network.state }
 
-type budget_reason = Max_states of int | Deadline of float
+type budget_reason = Search.budget_reason =
+  | Max_states of int
+  | Deadline of float
 
 type outcome =
   | Hit of Network.state
@@ -85,11 +87,7 @@ let successors_counted ~extra net (state : Network.state) =
     | Automaton.Committed -> true
     | Automaton.Urgent | Automaton.Normal -> false
   in
-  let current_edges ai =
-    List.filter
-      (fun e -> e.Automaton.src = state.Network.locs.(ai))
-      automata.(ai).Automaton.edges
-  in
+  let current_edges ai = net.Network.edge_index.(ai).(state.Network.locs.(ai)) in
   let results = ref [] in
   (* internal transitions *)
   for ai = 0 to n - 1 do
@@ -152,160 +150,141 @@ let successors_counted ~extra net (state : Network.state) =
 
 let successors net state = successors_counted ~extra:(ref 0) net state
 
-(* The default polymorphic hash only inspects ~10 nodes, which makes
-   symbolic states (similar location vectors, similar store prefixes)
-   collide massively; hash deeply instead. *)
-module Deep_tbl = Hashtbl.Make (struct
-  type t = Obj.t
+(* ------------------------------------------------------------------ *)
+(* The explorer is an instantiation of the generic {!Search} engine.
 
-  let equal = ( = )
-  let hash k = Hashtbl.hash_param 1000 1000 k
-end)
+   Keys are typed and O(1): the zone is interned (hash-consed by the
+   deep {!Dbm.hash}) into a dense integer id per run, and the discrete
+   part (locations + store) is packed into one flat int array with a
+   precomputed FNV digest, so an exact-dedup lookup never rehashes or
+   deep-compares a whole symbolic state.  Zone-inclusion pruning is the
+   engine's coverage antichain, grouped by the packed discrete key. *)
 
-let deep_mem tbl k = Deep_tbl.mem tbl (Obj.repr k)
-let deep_add tbl k v = Deep_tbl.replace tbl (Obj.repr k) v
-let deep_find_opt tbl k = Deep_tbl.find_opt tbl (Obj.repr k)
+(* FNV-1a over an int array, seeded so the empty array still mixes *)
+let fnv seed a =
+  let h = ref (0x811c9dc5 lxor seed) in
+  for i = 0 to Array.length a - 1 do
+    h := (!h lxor a.(i)) * 0x01000193
+  done;
+  !h land max_int
 
-let run_impl ~max_states ~deadline ~inclusion net target =
-  let t0 = Unix.gettimeofday () in
+let array_eq (a : int array) b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) <> b.(i) then ok := false
+  done;
+  !ok
+
+(* packed discrete key: locations then store, one array *)
+let pack_disc locs store =
+  let nl = Array.length locs and ns = Array.length store in
+  let a = Array.make (nl + ns) 0 in
+  Array.blit locs 0 a 0 nl;
+  Array.blit store 0 a nl ns;
+  a
+
+type dkey = { dh : int; disc : int array }
+type xkey = { xh : int; xdisc : int array; zone : int }
+
+module Zone_tbl = Hashtbl.Make (Dbm)
+
+let run_impl ~order ~max_states ~deadline ~inclusion net target =
   let extra = ref 0 in
-  let dedup_hits = ref 0 and inclusion_pruned = ref 0 in
   let initial = Network.initial_state net in
-  (* exact-match fast path: most revisits are zone-identical, so check
-     a flat hash of (locs, store, zone) before scanning the antichain *)
-  let exact : unit Deep_tbl.t = Deep_tbl.create 4096 in
-  (* passed list: (locs, store) -> zones antichain *)
-  let passed : Dbm.t list Deep_tbl.t = Deep_tbl.create 4096 in
-  let parents : (Network.state * string) Deep_tbl.t = Deep_tbl.create 4096 in
-  let covered (locs, store) zone =
-    if deep_mem exact (locs, store, zone) then begin
-      incr dedup_hits;
-      true
+  (* hash-consed zone store: physical id per distinct canonical DBM *)
+  let zones = Zone_tbl.create 4096 in
+  let zone_ctr = ref 0 in
+  let intern z =
+    match Zone_tbl.find_opt zones z with
+    | Some id -> id
+    | None ->
+      let id = !zone_ctr in
+      incr zone_ctr;
+      Zone_tbl.add zones z id;
+      id
+  in
+  let module Space = Search.Make (struct
+    type state = Network.state
+    type label = string
+
+    module Key = struct
+      type t = xkey
+
+      let equal a b = a.zone = b.zone && a.xh = b.xh && array_eq a.xdisc b.xdisc
+      let hash k = k.xh
     end
+
+    let key (st : Network.state) =
+      let disc = pack_disc st.Network.locs st.Network.store in
+      let zone = intern st.Network.zone in
+      { xh = fnv (zone * 0x9e3779b1) disc; xdisc = disc; zone }
+
+    let successors st = successors_counted ~extra net st
+    let is_target _ (st : Network.state) =
+      target ~locs:st.Network.locs ~store:st.Network.store
+  end) in
+  let coverage =
+    if not inclusion then None
     else
-      inclusion
-      &&
-      match deep_find_opt passed (locs, store) with
-      | None -> false
-      | Some zones ->
-        List.exists (fun z -> Dbm.includes z zone) zones
-        && begin
-             incr inclusion_pruned;
-             true
-           end
+      Some
+        (Space.Coverage
+           {
+             split =
+               (fun (st : Network.state) ->
+                 let disc = pack_disc st.Network.locs st.Network.store in
+                 ({ dh = fnv 0 disc; disc }, st.Network.zone));
+             ck_equal = (fun a b -> a.dh = b.dh && array_eq a.disc b.disc);
+             ck_hash = (fun k -> k.dh);
+             covers = (fun passed candidate -> Dbm.includes passed candidate);
+           })
   in
-  let remember (locs, store) zone =
-    deep_add exact (locs, store, zone) ();
-    if inclusion then begin
-      let key = (locs, store) in
-      let zones = Option.value ~default:[] (deep_find_opt passed key) in
-      deep_add passed key
-        (zone :: List.filter (fun z -> not (Dbm.includes zone z)) zones)
-    end
+  let r =
+    Space.run ~order ~exact:true ?coverage ~max_states ~max_states_check:`Insert
+      ?deadline ~deadline_mask:255 ~target_check:`Insert ~initial_peak:1
+      ~metrics_prefix:"ta.reach" initial
   in
-  let states = ref 0 and transitions = ref 0 and waiting_peak = ref 0 in
-  let queue = Queue.create () in
-  let found = ref None in
-  let exhausted = ref None in
-  (* wall-clock checks are amortised: a syscall every pop would dominate
-     the cheap point-like-zone expansions of the tick-driven models *)
-  let pops = ref 0 in
-  let over_deadline () =
-    match deadline with
-    | None -> false
-    | Some d ->
-      !pops land 255 = 0 && Unix.gettimeofday () -. t0 > d
-      && begin
-           exhausted := Some (Deadline d);
-           true
-         end
-  in
-  let trace_of st =
-    let rec walk st acc =
-      match deep_find_opt parents st with
-      | None -> acc
-      | Some (parent, label) -> walk parent ({ automaton = label; state = st } :: acc)
-    in
-    walk st []
-  in
-  let key_of (st : Network.state) = (st.Network.locs, st.Network.store) in
-  remember (key_of initial) initial.Network.zone;
-  incr states;
-  Queue.add initial queue;
-  waiting_peak := 1;
-  if target ~locs:initial.Network.locs ~store:initial.Network.store then
-    found := Some initial;
-  (try
-     while (not (Queue.is_empty queue)) && !found = None do
-       incr pops;
-       if over_deadline () then raise Exit;
-       let st = Queue.pop queue in
-       List.iter
-         (fun (label, succ) ->
-           incr transitions;
-           let key = key_of succ in
-           if not (covered key succ.Network.zone) then begin
-             remember key succ.Network.zone;
-             incr states;
-             deep_add parents succ (st, label);
-             if target ~locs:succ.Network.locs ~store:succ.Network.store then begin
-               found := Some succ;
-               raise Exit
-             end;
-             if !states >= max_states then begin
-               exhausted := Some (Max_states max_states);
-               raise Exit
-             end;
-             Queue.add succ queue;
-             if Queue.length queue > !waiting_peak then
-               waiting_peak := Queue.length queue
-           end)
-         (successors_counted ~extra net st)
-     done
-   with Exit -> ());
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let s = r.Space.stats in
   if Obs.Trace_ctx.enabled () then begin
-    Obs.Metric.count "ta.reach.states" !states;
-    Obs.Metric.count "ta.reach.transitions" !transitions;
-    Obs.Metric.count "ta.reach.dedup_hits" !dedup_hits;
-    Obs.Metric.count "ta.reach.inclusion_pruned" !inclusion_pruned;
-    Obs.Metric.count "ta.reach.extrapolations" !extra;
-    Obs.Metric.max_gauge "ta.reach.waiting_peak" (float_of_int !waiting_peak);
-    if elapsed > 0. then
-      Obs.Metric.max_gauge "ta.reach.states_per_sec"
-        (float_of_int !states /. elapsed)
+    Obs.Metric.count "ta.reach.dedup_hits" s.Search.dedup_hits;
+    Obs.Metric.count "ta.reach.inclusion_pruned" s.Search.cover_hits;
+    Obs.Metric.count "ta.reach.extrapolations" !extra
   end;
   let outcome =
-    match (!found, !exhausted) with
-    | Some st, _ -> Hit st
-    | None, Some reason -> Exhausted reason
-    | None, None -> Unreachable
+    match r.Space.outcome with
+    | Space.Found st -> Hit st
+    | Space.Completed -> Unreachable
+    | Space.Exhausted reason -> Exhausted reason
   in
   {
     outcome;
     stats =
       {
-        states = !states;
-        transitions = !transitions;
-        elapsed;
-        waiting_peak = !waiting_peak;
-        inclusion_pruned = !inclusion_pruned;
-        dedup_hits = !dedup_hits;
+        states = s.Search.states;
+        transitions = s.Search.transitions;
+        elapsed = s.Search.elapsed;
+        waiting_peak = s.Search.waiting_peak;
+        inclusion_pruned = s.Search.cover_hits;
+        dedup_hits = s.Search.dedup_hits;
         extrapolations = !extra;
       };
-    trace = (match !found with Some st -> trace_of st | None -> []);
+    trace =
+      List.map (fun (label, state) -> { automaton = label; state }) r.Space.trace;
   }
 
-let run ?(max_states = 2_000_000) ?deadline ?(inclusion = true) net target =
+let run ?(order = `Bfs) ?(max_states = 2_000_000) ?deadline ?(inclusion = true)
+    net target =
   if max_states <= 0 then invalid_arg "Reach.run: max_states";
   (match deadline with
    | Some d when d <= 0. -> invalid_arg "Reach.run: deadline"
    | _ -> ());
+  let order = match order with `Bfs -> Search.Bfs | `Dfs -> Search.Dfs in
   Obs.Span.with_ "ta.reach" (fun () ->
-      run_impl ~max_states ~deadline ~inclusion net target)
+      run_impl ~order ~max_states ~deadline ~inclusion net target)
 
-let reachable ?max_states ?deadline ?inclusion net target =
-  match (run ?max_states ?deadline ?inclusion net target).outcome with
+let reachable ?order ?max_states ?deadline ?inclusion net target =
+  match (run ?order ?max_states ?deadline ?inclusion net target).outcome with
   | Hit _ -> true
   | Unreachable -> false
   | Exhausted reason ->

@@ -228,7 +228,11 @@ let gen_net =
          ~clock_names:[| "x"; "y" |] ~channel_names:[||] ~initial_store:[||]
          ~clock_maxima:[| guard_max; guard_max |]))
 
-(* all reachable location vectors by exhaustive concrete execution *)
+(* all reachable location vectors by exhaustive concrete execution —
+   the enumeration itself is {!Ta.Concrete.enumerate}, i.e. a third
+   instantiation of the same unified search engine the zone explorer
+   runs on, so this test also exercises the engine's exact-dedup path
+   on a structurally-keyed state type *)
 let oracle_reachable net =
   let norm (s : Ta.Concrete.state) =
     let clocks =
@@ -238,30 +242,11 @@ let oracle_reachable net =
     in
     { s with Ta.Concrete.clocks; time = 0 }
   in
-  let key (s : Ta.Concrete.state) =
-    (Array.to_list s.Ta.Concrete.locs, Array.to_list s.Ta.Concrete.clocks)
-  in
-  let seen = Hashtbl.create 64 in
   let locsets = Hashtbl.create 16 in
-  let q = Queue.create () in
-  let push s =
-    let s = norm s in
-    let k = key s in
-    if not (Hashtbl.mem seen k) then begin
-      Hashtbl.replace seen k ();
-      Hashtbl.replace locsets (Array.to_list s.Ta.Concrete.locs) ();
-      Queue.add s q
-    end
-  in
-  push (Ta.Concrete.initial net);
-  while not (Queue.is_empty q) do
-    let s = Queue.pop q in
-    if Ta.Concrete.can_delay net s then
-      push (fst (Ta.Concrete.step net (fun _ _ -> None) s));
-    List.iter
-      (fun a -> push (fst (Ta.Concrete.step net (fun _ _ -> Some a) s)))
-      (Ta.Concrete.enabled net s)
-  done;
+  List.iter
+    (fun (s : Ta.Concrete.state) ->
+      Hashtbl.replace locsets (Array.to_list s.Ta.Concrete.locs) ())
+    (Ta.Concrete.enumerate ~max_states:100_000 ~norm net);
   locsets
 
 (* every location vector of the product *)
