@@ -895,6 +895,88 @@ let search_snapshot () =
       print_endline "wrote BENCH_search.json")
 
 (* ------------------------------------------------------------------ *)
+(* Persistent-cache snapshot: the full case-study pipeline (dwell
+   tables + first-fit mapping) against one store file, cold then warm,
+   written to BENCH_cache.json.  The verifier is wrapped in an
+   engine-run counter: the warm run must answer every group from the
+   store (0 engine runs) while rendering a byte-identical packing —
+   either divergence fails the bench. *)
+
+let cache_snapshot () =
+  section "X13" "Persistent-cache snapshot — BENCH_cache.json (cold vs warm)";
+  let path = Filename.temp_file "cpsdim-bench" ".store" in
+  Sys.remove path;
+  let engine_runs = ref 0 in
+  let counting specs =
+    incr engine_runs;
+    Core.Mapping.default_verifier specs
+  in
+  let run () =
+    match Core.Pcache.open_ ~path with
+    | Error e -> failwith ("cache snapshot: " ^ e)
+    | Ok pc ->
+      Fun.protect
+        ~finally:(fun () -> Core.Pcache.close pc)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let apps =
+            List.map
+              (fun (a : Casestudy.app) ->
+                Core.App.make
+                  ~cache:(Core.Pcache.dwell_cache pc)
+                  ~name:a.Casestudy.name ~plant:a.Casestudy.plant
+                  ~gains:a.Casestudy.gains ~r:a.Casestudy.r
+                  ~j_star:a.Casestudy.j_star ())
+              Casestudy.all
+          in
+          let mapping =
+            Core.Mapping.first_fit
+              ~cache:(Core.Pcache.mapping_cache pc)
+              ~verifier:counting apps
+          in
+          let dt = Unix.gettimeofday () -. t0 in
+          let entries = (Core.Pcache.stats pc).Store.entries in
+          (dt, Format.asprintf "%a" Core.Mapping.pp mapping, entries))
+  in
+  engine_runs := 0;
+  let cold_s, cold_out, entries = run () in
+  let cold_runs = !engine_runs in
+  engine_runs := 0;
+  let warm_s, warm_out, _ = run () in
+  let warm_runs = !engine_runs in
+  Sys.remove path;
+  if not (String.equal cold_out warm_out) then
+    failwith "cache snapshot: warm output diverges from cold";
+  if warm_runs <> 0 then
+    failwith
+      (Printf.sprintf "cache snapshot: warm run performed %d engine run(s)"
+         warm_runs);
+  let speedup = cold_s /. Float.max 1e-9 warm_s in
+  Printf.printf
+    "cold %.2fs (%d engine runs) | warm %.2fs (0 engine runs, %.0fx) | %d records\n"
+    cold_s cold_runs warm_s speedup entries;
+  print_endline "warm packing byte-identical to cold";
+  Obs.Metric.reset ();
+  Obs.Span.reset ();
+  Obs.Trace_ctx.reset ();
+  Obs.Trace_ctx.enable ();
+  Fun.protect ~finally:Obs.Trace_ctx.disable (fun () ->
+      Obs.Metric.set_gauge "bench.cache.cold_s" cold_s;
+      Obs.Metric.set_gauge "bench.cache.warm_s" warm_s;
+      Obs.Metric.set_gauge "bench.cache.speedup" speedup;
+      Obs.Metric.set_gauge "bench.cache.cold_engine_runs"
+        (float_of_int cold_runs);
+      Obs.Metric.set_gauge "bench.cache.warm_engine_runs"
+        (float_of_int warm_runs);
+      Obs.Metric.set_gauge "bench.cache.entries" (float_of_int entries);
+      let report = Obs.Report.collect ~command:"bench-cache" () in
+      let oc = open_out "BENCH_cache.json" in
+      output_string oc (Obs.Report.json_to_string (Obs.Report.to_json report));
+      output_char oc '\n';
+      close_out oc;
+      print_endline "wrote BENCH_cache.json")
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -918,6 +1000,7 @@ let sections =
     ("faults", faults_snapshot);
     ("par", par_snapshot);
     ("search", search_snapshot);
+    ("cache", cache_snapshot);
   ]
 
 (* no arguments runs everything; otherwise each argument names one

@@ -3,20 +3,21 @@
 
    Subcommands: tables, verify, map, simulate, sweep, flexray. *)
 
-let app_of_name name =
+let app_of_name ?cache name =
   let a = Casestudy.find name in
-  Core.App.make ~name:a.Casestudy.name ~plant:a.Casestudy.plant
+  Core.App.make ?cache ~name:a.Casestudy.name ~plant:a.Casestudy.plant
     ~gains:a.Casestudy.gains ~r:a.Casestudy.r ~j_star:a.Casestudy.j_star ()
 
 (* dwell tables are computed inside App.make, so this is the CLI's
    "dwell-table" phase; resolve names one at a time so an unknown one
    can be reported by name instead of a bare Not_found *)
-let parse_apps names =
+let parse_apps ?pcache names =
   Obs.Span.with_ "dwell-tables" @@ fun () ->
+  let cache = Option.map Core.Pcache.dwell_cache pcache in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | name :: rest -> (
-      match app_of_name name with
+      match app_of_name ?cache name with
       | app -> go (app :: acc) rest
       | exception Not_found ->
         Error
@@ -26,6 +27,24 @@ let parse_apps names =
   in
   go [] names
 
+(* --cache PATH (or CPSDIM_CACHE): open the persistent verification
+   store around the run; a refused file (not a store, IO error) aborts
+   rather than silently running uncached *)
+let with_pcache cache f =
+  match cache with
+  | None -> f None
+  | Some path ->
+    (match Core.Pcache.open_ ~path with
+     | Error m -> Printf.eprintf "cpsdim: --cache %s: %s\n" path m; 1
+     | Ok pc ->
+       Fun.protect
+         ~finally:(fun () -> Core.Pcache.close pc)
+         (fun () -> f (Some pc)))
+
+let mapping_cache_of = function
+  | Some pc -> Core.Pcache.mapping_cache pc
+  | None -> Core.Mapping.create_cache ()
+
 let pp_int_array ppf a =
   Format.fprintf ppf "[%s]"
     (String.concat "," (Array.to_list (Array.map string_of_int a)))
@@ -33,9 +52,10 @@ let pp_int_array ppf a =
 (* ------------------------------------------------------------------ *)
 (* tables *)
 
-let tables_cmd_run names =
+let tables_cmd_run cache names =
   let names = if names = [] then [ "C1"; "C2"; "C3"; "C4"; "C5"; "C6" ] else names in
-  match parse_apps names with
+  with_pcache cache @@ fun pcache ->
+  match parse_apps ?pcache names with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok apps ->
     List.iter
@@ -59,13 +79,20 @@ let apply_jobs jobs =
   if jobs > 0 then Par.Pool.set_default_jobs jobs
 
 (* exit codes: 0 = safe, 2 = unsafe, 3 = undetermined (budget ran out) *)
-let verify_cmd_run engine order bound deadline jobs names =
+let verify_cmd_run engine order bound deadline jobs cache names =
   apply_jobs jobs;
-  match parse_apps names with
+  with_pcache cache @@ fun pcache ->
+  match parse_apps ?pcache names with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok [] -> prerr_endline "verify: give at least one application"; 1
   | Ok apps ->
     let specs = Core.Mapping.specs_of_group apps in
+    (* persist definitive verdicts so later map/stress/verify runs skip
+       the engine.  Exact engines record both polarities; the bounded
+       acceleration only its counterexamples (bounded-Safe is an
+       under-approximation); Undetermined is a budget artifact and is
+       never recorded. *)
+    let record v = Option.iter (fun pc -> Core.Pcache.record_verdict pc specs v) pcache in
     Obs.Span.with_ "model-check" @@ fun () ->
     let discrete_exit (r : Core.Dverify.result) =
       match r.Core.Dverify.verdict with
@@ -79,6 +106,10 @@ let verify_cmd_run engine order bound deadline jobs names =
      | `Discrete | `Bfs ->
        let mode = if engine = `Bfs then `Bfs else `Subsumption in
        let r = Core.Dverify.verify ~order ~mode ?deadline specs in
+       (match r.Core.Dverify.verdict with
+        | Core.Dverify.Safe -> record `Safe
+        | Core.Dverify.Unsafe _ -> record `Unsafe
+        | Core.Dverify.Undetermined _ -> ());
        Format.printf "%a@.states=%d transitions=%d elapsed=%.2fs@."
          (Core.Dverify.pp_verdict specs) r.Core.Dverify.verdict
          r.Core.Dverify.stats.Core.Dverify.states
@@ -87,6 +118,9 @@ let verify_cmd_run engine order bound deadline jobs names =
        discrete_exit r
      | `Bounded ->
        let r = Core.Dverify.verify_bounded ~order ?deadline ~instances:bound specs in
+       (match r.Core.Dverify.verdict with
+        | Core.Dverify.Unsafe _ -> record `Unsafe
+        | Core.Dverify.Safe | Core.Dverify.Undetermined _ -> ());
        Format.printf "%a (bounded, %d instances/app)@.states=%d elapsed=%.2fs@."
          (Core.Dverify.pp_verdict specs) r.Core.Dverify.verdict bound
          r.Core.Dverify.stats.Core.Dverify.states
@@ -104,6 +138,7 @@ let verify_cmd_run engine order bound deadline jobs names =
             r.Core.Ta_model.stats.Ta.Reach.states;
           3
         | (`Safe | `Unsafe) as o ->
+          record (o :> Core.Mapping.verdict);
           Format.printf "%s@.symbolic states=%d elapsed=%.2fs@."
             (if o = `Safe then "safe: Error location unreachable"
              else "unsafe: Error location reachable")
@@ -114,10 +149,17 @@ let verify_cmd_run engine order bound deadline jobs names =
 (* ------------------------------------------------------------------ *)
 (* map *)
 
-let map_cmd_run with_baseline optimal order jobs =
+let map_cmd_run with_baseline optimal order jobs cache =
   apply_jobs jobs;
-  let apps = List.map (fun (a : Casestudy.app) -> app_of_name a.Casestudy.name) Casestudy.all in
-  let cache = Core.Mapping.create_cache () in
+  with_pcache cache @@ fun pcache ->
+  let dcache = Option.map Core.Pcache.dwell_cache pcache in
+  let apps =
+    Obs.Span.with_ "dwell-tables" @@ fun () ->
+    List.map
+      (fun (a : Casestudy.app) -> app_of_name ?cache:dcache a.Casestudy.name)
+      Casestudy.all
+  in
+  let cache = mapping_cache_of pcache in
   let outcome =
     if optimal then Core.Mapping.optimal ~cache ~order apps
     else Core.Mapping.first_fit ~cache ~order apps
@@ -248,18 +290,19 @@ let simulate_cmd_run names disturbances horizon stride csv faults seed monitor =
    pure function of (spec, seed, runs, horizon) — no wall-clock
    quantities are printed — so two runs with the same arguments must be
    byte-identical. *)
-let stress_cmd_run names spec seed runs horizon jobs =
+let stress_cmd_run names spec seed runs horizon jobs cache =
   apply_jobs jobs;
   let names =
     if names = [] then [ "C1"; "C2"; "C3"; "C4"; "C5"; "C6" ] else names
   in
-  match parse_apps names with
+  with_pcache cache @@ fun pcache ->
+  match parse_apps ?pcache names with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok apps ->
     (match Faults.Spec.parse spec with
      | Error m -> Printf.eprintf "stress: --spec: %s\n" m; 1
      | Ok spec ->
-       let mapping = Core.Mapping.first_fit ~cache:(Core.Mapping.create_cache ()) apps in
+       let mapping = Core.Mapping.first_fit ~cache:(mapping_cache_of pcache) apps in
        Format.printf "%a@.@." Core.Mapping.pp mapping;
        let slots =
          List.map
@@ -398,6 +441,30 @@ let uppaal_cmd_run out names =
         | Error m -> prerr_endline m; 1))
 
 (* ------------------------------------------------------------------ *)
+(* cache *)
+
+let cache_stats_run path =
+  match Store.peek ~path with
+  | Error m -> Printf.eprintf "cpsdim: cache stats: %s\n" m; 1
+  | Ok (salt, records) ->
+    let bytes = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+    Printf.printf "store:   %s\nsalt:    %s (%s)\nrecords: %d\nbytes:   %d\n"
+      path salt
+      (if String.equal salt Core.Pcache.engine_salt then "current"
+       else "STALE; current is " ^ Core.Pcache.engine_salt)
+      records bytes;
+    0
+
+let cache_clear_run path =
+  match Core.Pcache.open_ ~path with
+  | Error m -> Printf.eprintf "cpsdim: cache clear: %s\n" m; 1
+  | Ok pc ->
+    Store.clear (Core.Pcache.store pc);
+    Core.Pcache.close pc;
+    Printf.printf "cleared %s\n" path;
+    0
+
+(* ------------------------------------------------------------------ *)
 (* report *)
 
 let report_cmd_run path =
@@ -470,10 +537,26 @@ let with_obs command thunk =
 let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"APP" ~doc:"Case-study application names (C1..C6).")
 
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "CPSDIM_CACHE")
+        ~doc:
+          "Persistent verification cache: verdicts and dwell tables are \
+           reloaded from (and appended to) the store at $(docv), so repeated \
+           runs skip the engine for unchanged groups.  The file is salted \
+           with the engine version and invalidated automatically when it \
+           goes stale; see 'cpsdim cache'.  Results are byte-identical with \
+           or without a (warm or cold) cache.")
+
 let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Print the dwell-time tables (Table 1)")
     (with_obs "tables"
-       Term.(const (fun names () -> tables_cmd_run names) $ names_arg))
+       Term.(
+         const (fun cache names () -> tables_cmd_run cache names)
+         $ cache_arg $ names_arg))
 
 let engine_arg =
   Arg.(
@@ -516,10 +599,10 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Model-check a slot group")
     (with_obs "verify"
        Term.(
-         const (fun engine order bound deadline jobs names () ->
-             verify_cmd_run engine order bound deadline jobs names)
+         const (fun engine order bound deadline jobs cache names () ->
+             verify_cmd_run engine order bound deadline jobs cache names)
          $ engine_arg $ order_arg $ bound_arg $ deadline_arg $ jobs_arg
-         $ names_arg))
+         $ cache_arg $ names_arg))
 
 let baseline_arg =
   Arg.(value & flag & info [ "b"; "baseline" ] ~doc:"Also run the DATE'12 baseline packing.")
@@ -531,9 +614,9 @@ let map_cmd =
   Cmd.v (Cmd.info "map" ~doc:"Slot mapping of the case study (first-fit or exact)")
     (with_obs "map"
        Term.(
-         const (fun baseline optimal order jobs () ->
-             map_cmd_run baseline optimal order jobs)
-         $ baseline_arg $ optimal_arg $ order_arg $ jobs_arg))
+         const (fun baseline optimal order jobs cache () ->
+             map_cmd_run baseline optimal order jobs cache)
+         $ baseline_arg $ optimal_arg $ order_arg $ jobs_arg $ cache_arg))
 
 let disturbances_arg =
   Arg.(value & opt_all string [] & info [ "d"; "disturb" ] ~docv:"SAMPLE:APP" ~doc:"Disturbance arrival, e.g. -d 0:C1.")
@@ -600,10 +683,10 @@ let stress_cmd =
           checked by the guarantee monitor")
     (with_obs "stress"
        Term.(
-         const (fun names spec seed runs horizon jobs () ->
-             stress_cmd_run names spec seed runs horizon jobs)
+         const (fun names spec seed runs horizon jobs cache () ->
+             stress_cmd_run names spec seed runs horizon jobs cache)
          $ names_arg $ stress_spec_arg $ sim_seed_arg $ runs_arg
-         $ stress_horizon_arg $ jobs_arg))
+         $ stress_horizon_arg $ jobs_arg $ cache_arg))
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Application name.")
@@ -675,6 +758,30 @@ let report_cmd =
        ~doc:"Pretty-print the most recent JSONL metrics run")
     Term.(const report_cmd_run $ report_path_arg)
 
+let cache_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PATH" ~doc:"Persistent cache file (see --cache).")
+
+let cache_cmd =
+  let stats =
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Report a store's salt (flagging staleness against the current \
+            engine), record count and size, without modifying the file.")
+      Term.(const cache_stats_run $ cache_path_arg)
+  in
+  let clear =
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Drop every record and rewrite the store empty.")
+      Term.(const cache_clear_run $ cache_path_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect or clear a persistent verification cache")
+    [ stats; clear ]
+
 let default = Term.(ret (const (`Help (`Pager, None))))
 
 let () =
@@ -682,4 +789,4 @@ let () =
     Cmd.info "cpsdim" ~version:"1.0.0"
       ~doc:"Tighter dimensioning of TT slots with control performance guarantees"
   in
-  exit (Cmd.eval' (Cmd.group ~default info [ tables_cmd; verify_cmd; map_cmd; simulate_cmd; stress_cmd; sweep_cmd; flexray_cmd; design_cmd; fleet_cmd; uppaal_cmd; margins_cmd; report_cmd ]))
+  exit (Cmd.eval' (Cmd.group ~default info [ tables_cmd; verify_cmd; map_cmd; simulate_cmd; stress_cmd; sweep_cmd; flexray_cmd; design_cmd; fleet_cmd; uppaal_cmd; margins_cmd; report_cmd; cache_cmd ]))

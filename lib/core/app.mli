@@ -13,6 +13,7 @@ type t = {
 }
 
 val make :
+  ?cache:Dwell.cache ->
   ?threshold:float ->
   ?stride:int ->
   name:string ->
@@ -22,11 +23,15 @@ val make :
   j_star:int ->
   unit ->
   t
-(** Compute the dwell tables and package the application.
+(** Compute the dwell tables and package the application.  [cache]
+    memoises (and, with a persistent backing, reloads) the table
+    computation.
     @raise Dwell.Infeasible when the requirement cannot be met.
     @raise Invalid_argument when [r] is too small for the sporadic
     model (it must exceed every wait + maximum dwell, and the paper
-    additionally assumes [J* < r]). *)
+    additionally assumes [J* < r]), or when [stride > 1]: strided
+    tables are analysis-only — the scheduler bridge needs one row per
+    wait. *)
 
 val spec : t -> id:int -> Sched.Appspec.t
 (** The scheduler-facing view under a dense per-slot index. *)

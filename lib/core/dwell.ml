@@ -3,6 +3,7 @@ type t = {
   jt : int;
   je : int;
   t_w_max : int;
+  stride : int;
   t_dw_min : int array;
   t_dw_max : int array;
   j_at_min : int array;
@@ -123,9 +124,69 @@ let analyse_wait_timed ?threshold p g ~j_star ~t_w =
     r
   end
 
-let compute ?pool ?threshold ?(stride = 1) p g ~j_star =
+(* ------------------------------------------------------------------ *)
+(* Grid indexing.  Rows are stored one per simulated wait, so the row
+   for wait [t_w] lives at index [t_w / stride] — and only waits on the
+   stride grid have a row at all.  Consumers must go through these
+   accessors instead of indexing the arrays with the raw wait (which is
+   wrong whenever [stride > 1]). *)
+
+let index_of_wait t ~t_w =
+  if t_w >= 0 && t_w <= t.t_w_max && t_w mod t.stride = 0 then
+    Some (t_w / t.stride)
+  else None
+
+let row_exn name t ~t_w a =
+  match index_of_wait t ~t_w with
+  | Some i -> a.(i)
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Dwell.%s: wait %d is off the stride-%d grid [0..%d]"
+         name t_w t.stride t.t_w_max)
+
+let dw_min t ~t_w = row_exn "dw_min" t ~t_w t.t_dw_min
+let dw_max t ~t_w = row_exn "dw_max" t ~t_w t.t_dw_max
+let j_min t ~t_w = row_exn "j_min" t ~t_w t.j_at_min
+let j_max t ~t_w = row_exn "j_max" t ~t_w t.j_at_max
+
+let waits t = List.init (Array.length t.t_dw_min) (fun i -> i * t.stride)
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed fingerprint of a table computation.  Every input
+   that the result depends on is serialised exactly: floats in lossless
+   hex notation (%h), dimensions explicit, fields separated by bytes
+   that cannot occur inside a %h rendering or a decimal integer — the
+   key is injective, so equal keys mean an identical computation. *)
+
+type cache = t Par.Vcache.t
+
+let create_cache ?backing () = Par.Vcache.create ?backing ()
+
+let fingerprint ?threshold ?(stride = 1) (p : Control.Plant.t) (g : Control.Switched.gains) ~j_star =
+  let fl x = Printf.sprintf "%h" x in
+  let arr a = String.concat "," (Array.to_list (Array.map fl a)) in
+  let mat (m : Linalg.Mat.t) =
+    Printf.sprintf "%dx%d:%s" m.Linalg.Mat.rows m.Linalg.Mat.cols
+      (arr m.Linalg.Mat.data)
+  in
+  String.concat "|"
+    [
+      "dwell";
+      mat p.Control.Plant.phi;
+      arr p.Control.Plant.gamma;
+      arr p.Control.Plant.c;
+      fl p.Control.Plant.h;
+      arr g.Control.Switched.kt;
+      arr g.Control.Switched.ke;
+      (match threshold with None -> "default" | Some x -> fl x);
+      string_of_int stride;
+      string_of_int j_star;
+    ]
+
+let compute ?pool ?cache ?threshold ?(stride = 1) p g ~j_star =
   if stride < 1 then invalid_arg "Dwell.compute: stride must be >= 1";
   if j_star < 1 then invalid_arg "Dwell.compute: j_star must be >= 1";
+  let compute_impl () =
   Obs.Span.with_ "dwell.compute" @@ fun () ->
   let a_tt = Control.Feedback.closed_loop_tt p g.Control.Switched.kt in
   let a_et = Control.Feedback.closed_loop_et p g.Control.Switched.ke in
@@ -200,9 +261,20 @@ let compute ?pool ?threshold ?(stride = 1) p g ~j_star =
         t_dw_max.(i) <- dmax;
         j_at_max.(i) <- jmax)
       entries;
-    { j_star; jt; je; t_w_max; t_dw_min; t_dw_max; j_at_min; j_at_max }
+    { j_star; jt; je; t_w_max; stride; t_dw_min; t_dw_max; j_at_min; j_at_max }
+  in
+  match cache with
+  | None -> compute_impl ()
+  | Some c ->
+    Par.Vcache.find_or_add c
+      (fingerprint ?threshold ~stride p g ~j_star)
+      compute_impl
 
-let deadline t ~t_w = t.t_w_max - t_w
+let deadline t ~t_w =
+  if t_w < 0 || t_w > t.t_w_max then
+    invalid_arg
+      (Printf.sprintf "Dwell.deadline: wait %d outside [0..%d]" t_w t.t_w_max);
+  t.t_w_max - t_w
 
 let validate t =
   let len = Array.length t.t_dw_min in
@@ -216,6 +288,12 @@ let validate t =
       "array lengths disagree"
   in
   let* () = check (len >= 1) "empty table" in
+  let* () = check (t.stride >= 1) "stride must be >= 1" in
+  let* () =
+    check
+      (t.t_w_max = (len - 1) * t.stride)
+      "t_w_max disagrees with the row count and stride"
+  in
   let* () = check (t.jt <= t.j_star && t.j_star < t.je) "J_T <= J* < J_E violated" in
   let* () =
     check
@@ -240,5 +318,7 @@ let pp ppf t =
       (Array.to_list a)
   in
   Format.fprintf ppf
-    "@[<v>J* = %d, J_T = %d, J_E = %d, T*_w = %d@,T-_dw = %a@,T+_dw = %a@]"
-    t.j_star t.jt t.je t.t_w_max pp_arr t.t_dw_min pp_arr t.t_dw_max
+    "@[<v>J* = %d, J_T = %d, J_E = %d, T*_w = %d%s@,T-_dw = %a@,T+_dw = %a@]"
+    t.j_star t.jt t.je t.t_w_max
+    (if t.stride = 1 then "" else Printf.sprintf " (stride %d)" t.stride)
+    pp_arr t.t_dw_min pp_arr t.t_dw_max

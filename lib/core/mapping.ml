@@ -75,38 +75,57 @@ let escalating ?stage_deadline ?max_states ?(instances = 2)
 
 type cache = verdict Par.Vcache.t
 
-let create_cache () = Par.Vcache.create ()
-let cache_stats c = (Par.Vcache.hits c, Par.Vcache.misses c)
+let create_cache ?backing () = Par.Vcache.create ?backing ()
+let cache_stats c = (Par.Vcache.hits c + Par.Vcache.disk_hits c, Par.Vcache.misses c)
 
 let fingerprint specs =
+  (* Injective canonical key.  The name — the only field an adversary
+     (or an unlucky operator) controls — is length-prefixed, so a name
+     containing '|', ',' or ';' cannot re-align one group's
+     serialisation onto another's: after "<len>:<name>" the remaining
+     fields are purely decimal digits, '-', ',' and '|', and the entry
+     terminator ';' occurs in none of them, so the whole string parses
+     back unambiguously.  (The previous delimiter-joined scheme was
+     injectable: name "A|1|3|4|9;B" aliased the two-app group {A, B} —
+     see the regression test in test/test_store.ml.) *)
   let ints a = String.concat "," (List.map string_of_int (Array.to_list a)) in
   let entry (s : Sched.Appspec.t) =
-    Printf.sprintf "%s|%d|%s|%s|%d" s.Sched.Appspec.name
-      s.Sched.Appspec.t_w_max
+    Printf.sprintf "%d:%s|%d|%s|%s|%d"
+      (String.length s.Sched.Appspec.name)
+      s.Sched.Appspec.name s.Sched.Appspec.t_w_max
       (ints s.Sched.Appspec.t_dw_min)
       (ints s.Sched.Appspec.t_dw_max)
       s.Sched.Appspec.r
   in
-  String.concat ";" (List.sort compare (List.map entry (Array.to_list specs)))
+  let entries = List.sort compare (List.map entry (Array.to_list specs)) in
+  Printf.sprintf "%d;%s" (List.length entries) (String.concat ";" entries)
 
 let apply_verifier ?cache verifier specs =
   match cache with
-  | None -> verifier specs
+  | None -> (verifier specs, `Miss)
   | Some c ->
-    Par.Vcache.find_or_add c (fingerprint specs) (fun () -> verifier specs)
+    Par.Vcache.find_or_add' c (fingerprint specs) (fun () -> verifier specs)
 
-(* a probe with its latency, for the per-group verdict histogram *)
+(* a probe with its latency and provenance, for the verdict histogram *)
 let timed_probe ?cache verifier specs =
   let t0 = Unix.gettimeofday () in
-  let v = apply_verifier ?cache verifier specs in
-  (v, Unix.gettimeofday () -. t0)
+  let v, src = apply_verifier ?cache verifier specs in
+  (v, Unix.gettimeofday () -. t0, src)
 
-let checked_verdict ?cache verifier specs =
-  let v, dt = timed_probe ?cache verifier specs in
+(* cache hits get their own counter and stay out of the latency
+   histogram: a ~0 s table lookup is not an engine run, and mixing the
+   two made mapping.verdict_s useless for spotting slow groups *)
+let probe_metrics dt src =
   if Obs.Trace_ctx.enabled () then begin
     Obs.Metric.count "mapping.model_checks" 1;
-    Obs.Metric.observe_value "mapping.verdict_s" dt
-  end;
+    match src with
+    | `Miss -> Obs.Metric.observe_value "mapping.verdict_s" dt
+    | `Mem | `Disk -> Obs.Metric.count "mapping.cache_hits" 1
+  end
+
+let checked_verdict ?cache verifier specs =
+  let v, dt, src = timed_probe ?cache verifier specs in
+  probe_metrics dt src;
   v
 
 let first_fit ?pool ?cache ?(order = `Bfs) ?verifier ?(presorted = false)
@@ -123,13 +142,10 @@ let first_fit ?pool ?cache ?(order = `Bfs) ?verifier ?(presorted = false)
      the number of safety questions asked, not engine runs performed,
      so the reported outcome is identical at any jobs count and any
      cache warmth. *)
-  let consume (v, dt) =
+  let consume (v, dt, src) =
     incr count;
     Obs.Metric.count "mapping.groups_tried" 1;
-    if Obs.Trace_ctx.enabled () then begin
-      Obs.Metric.count "mapping.model_checks" 1;
-      Obs.Metric.observe_value "mapping.verdict_s" dt
-    end;
+    probe_metrics dt src;
     (* an undetermined group is conservatively treated as not fitting:
        the mapping only ever packs groups proved safe *)
     match v with

@@ -30,21 +30,27 @@ type outcome = {
           treated as unsafe) *)
 }
 
-type cache
+type cache = verdict Par.Vcache.t
 (** Content-addressed verdict cache: canonical group fingerprint →
     verdict, mutex-protected (safe to share across domains and across
     both mappers).  Sound because a verdict is a pure function of the
     group's timing parameters — ids and probe order do not matter for
     exhaustive verification. *)
 
-val create_cache : unit -> cache
+val create_cache : ?backing:verdict Par.Vcache.backing -> unit -> cache
+(** [backing] (e.g. {!Pcache.mapping_backing}) extends the in-memory
+    table with a persistent second level consulted on memory misses and
+    written on engine runs. *)
 
 val cache_stats : cache -> int * int
-(** [(hits, misses)] so far. *)
+(** [(hits, misses)] so far; hits include backing-store hits. *)
 
 val fingerprint : Sched.Appspec.t array -> string
-(** The cache key: name-sorted [name|T*_w|T⁻_dw|T⁺_dw|r] entries —
-    invariant under group order and id assignment. *)
+(** The cache key: the entry count followed by name-sorted
+    [len:name|T*_w|T⁻_dw|T⁺_dw|r] entries — invariant under group order
+    and id assignment, and injective: names are length-prefixed so
+    delimiter characters in an application name cannot alias another
+    group's key. *)
 
 val sort_order : App.t list -> App.t list
 (** The paper's sorting: ascending [T*_w], then ascending [T⁻*_dw],

@@ -11,13 +11,17 @@ type report = { rows : row list; safe : bool }
 let worst_settling_of (a : App.t) ~worst_wait =
   let t = a.App.table in
   let worst = ref 0 in
-  for t_w = 0 to Int.min worst_wait t.Dwell.t_w_max do
-    for t_dw = t.Dwell.t_dw_min.(t_w) to t.Dwell.t_dw_max.(t_w) do
-      match Strategy.settling a.App.plant a.App.gains ~t_w ~t_dw with
-      | Some j -> if j > !worst then worst := j
-      | None -> ()
-    done
-  done;
+  (* iterate grid waits only: with stride > 1 the raw wait is not a
+     valid row index *)
+  List.iter
+    (fun t_w ->
+      if t_w <= worst_wait then
+        for t_dw = Dwell.dw_min t ~t_w to Dwell.dw_max t ~t_w do
+          match Strategy.settling a.App.plant a.App.gains ~t_w ~t_dw with
+          | Some j -> if j > !worst then worst := j
+          | None -> ()
+        done)
+    (Dwell.waits t);
   !worst
 
 let analyse ?policy ~apps () =

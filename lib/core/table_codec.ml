@@ -34,8 +34,14 @@ let dictionary_words a =
   in
   k + (((Array.length a * bits_per_entry) + 63) / 64)
 
-(* serialisation: "j_star jt je t_w_max | rle(t_dw_min) | rle(t_dw_max)
-   | rle(j_at_min) | rle(j_at_max)" with runs as "v*k" *)
+(* serialisation, format 2:
+     "v2 j_star jt je t_w_max stride | rle(t_dw_min) | rle(t_dw_max)
+      | rle(j_at_min) | rle(j_at_max)"
+   with runs as "v*k".  Format 1 lacked the version tag and the stride
+   field ("j_star jt je t_w_max | ..."); tables written by it predate
+   stride-aware consumers, so decoding maps them to stride = 1 —
+   exactly the semantics they were computed under. *)
+let version = 2
 let rle_to_string rle =
   String.concat "," (List.map (fun (v, k) -> Printf.sprintf "%d*%d" v k) rle)
 
@@ -53,8 +59,8 @@ let rle_of_string s =
     with _ -> Error ("bad run-length field: " ^ s)
 
 let table_to_string (t : Dwell.t) =
-  Printf.sprintf "%d %d %d %d | %s | %s | %s | %s" t.Dwell.j_star t.Dwell.jt
-    t.Dwell.je t.Dwell.t_w_max
+  Printf.sprintf "v2 %d %d %d %d %d | %s | %s | %s | %s" t.Dwell.j_star
+    t.Dwell.jt t.Dwell.je t.Dwell.t_w_max t.Dwell.stride
     (rle_to_string (encode t.Dwell.t_dw_min))
     (rle_to_string (encode t.Dwell.t_dw_max))
     (rle_to_string (encode t.Dwell.j_at_min))
@@ -64,12 +70,22 @@ let table_of_string s =
   let ( let* ) = Result.bind in
   match String.split_on_char '|' s |> List.map String.trim with
   | [ header; f1; f2; f3; f4 ] ->
-    let* j_star, jt, je, t_w_max =
+    let* j_star, jt, je, t_w_max, stride =
+      let ints l =
+        try Ok (List.map int_of_string l) with _ -> Error "bad header integers"
+      in
       match String.split_on_char ' ' header |> List.filter (fun x -> x <> "") with
-      | [ a; b; c; d ] ->
-        (try Ok (int_of_string a, int_of_string b, int_of_string c, int_of_string d)
-         with _ -> Error "bad header integers")
-      | _ -> Error "bad header shape"
+      | "v2" :: fields -> (
+        match ints fields with
+        | Ok [ a; b; c; d; e ] -> Ok (a, b, c, d, e)
+        | Ok _ -> Error "bad v2 header shape"
+        | Error e -> Error e)
+      | fields -> (
+        (* format 1: no version tag, no stride field *)
+        match ints fields with
+        | Ok [ a; b; c; d ] -> Ok (a, b, c, d, 1)
+        | Ok _ -> Error "bad header shape"
+        | Error e -> Error e)
     in
     let* r1 = rle_of_string f1 in
     let* r2 = rle_of_string f2 in
@@ -81,6 +97,7 @@ let table_of_string s =
         jt;
         je;
         t_w_max;
+        stride;
         t_dw_min = decode r1;
         t_dw_max = decode r2;
         j_at_min = decode r3;

@@ -42,14 +42,15 @@ let dwell_csv (t : Core.Dwell.t) ~h =
   let buf = Buffer.create 1024 in
   buf_add_line buf [ "t_w"; "t_dw_min"; "t_dw_max"; "j_at_min_s"; "j_at_max_s" ];
   Array.iteri
-    (fun t_w dmin ->
+    (fun i dmin ->
+      (* row [i] holds wait [i * stride]; emit the wait, not the index *)
       buf_add_line buf
         [
-          string_of_int t_w;
+          string_of_int (i * t.Core.Dwell.stride);
           string_of_int dmin;
-          string_of_int t.Core.Dwell.t_dw_max.(t_w);
-          Printf.sprintf "%.4f" (float_of_int t.Core.Dwell.j_at_min.(t_w) *. h);
-          Printf.sprintf "%.4f" (float_of_int t.Core.Dwell.j_at_max.(t_w) *. h);
+          string_of_int t.Core.Dwell.t_dw_max.(i);
+          Printf.sprintf "%.4f" (float_of_int t.Core.Dwell.j_at_min.(i) *. h);
+          Printf.sprintf "%.4f" (float_of_int t.Core.Dwell.j_at_max.(i) *. h);
         ])
     t.Core.Dwell.t_dw_min;
   Buffer.contents buf

@@ -1,32 +1,61 @@
+type 'a backing = {
+  load : string -> 'a option;
+  save : string -> 'a -> unit;
+}
+
 type 'a t = {
   m : Mutex.t;
   tbl : (string, 'a) Hashtbl.t;
+  backing : 'a backing option;
   mutable hits : int;
+  mutable disk_hits : int;
   mutable misses : int;
 }
 
-let create () =
-  { m = Mutex.create (); tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+let create ?backing () =
+  {
+    m = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    backing;
+    hits = 0;
+    disk_hits = 0;
+    misses = 0;
+  }
 
-let find_or_add c key compute =
+let find_or_add' c key compute =
   Mutex.lock c.m;
   match Hashtbl.find_opt c.tbl key with
   | Some v ->
     c.hits <- c.hits + 1;
     Mutex.unlock c.m;
-    v
-  | None ->
-    c.misses <- c.misses + 1;
-    Mutex.unlock c.m;
-    (* compute outside the lock: reachability runs take seconds and must
-       not serialise unrelated probes.  A racing domain may insert the
-       same key first; both computed the same pure function, so
-       keep-first is fine. *)
-    let v = compute () in
-    Mutex.lock c.m;
-    if not (Hashtbl.mem c.tbl key) then Hashtbl.add c.tbl key v;
-    Mutex.unlock c.m;
-    v
+    (v, `Mem)
+  | None -> (
+    match
+      match c.backing with Some b -> b.load key | None -> None
+    with
+    | Some v ->
+      (* promote to memory so later lookups skip the backing *)
+      c.disk_hits <- c.disk_hits + 1;
+      Hashtbl.add c.tbl key v;
+      Mutex.unlock c.m;
+      (v, `Disk)
+    | None ->
+      c.misses <- c.misses + 1;
+      Mutex.unlock c.m;
+      (* compute outside the lock: reachability runs take seconds and
+         must not serialise unrelated probes.  A racing domain may
+         insert the same key first; both computed the same pure
+         function, so keep-first is fine. *)
+      let v = compute () in
+      Mutex.lock c.m;
+      if not (Hashtbl.mem c.tbl key) then begin
+        Hashtbl.add c.tbl key v;
+        match c.backing with Some b -> b.save key v | None -> ()
+      end;
+      Mutex.unlock c.m;
+      (v, `Miss))
+
+let find_or_add c key compute = fst (find_or_add' c key compute)
 
 let locked c f =
   Mutex.lock c.m;
@@ -35,5 +64,6 @@ let locked c f =
   v
 
 let hits c = locked c (fun () -> c.hits)
+let disk_hits c = locked c (fun () -> c.disk_hits)
 let misses c = locked c (fun () -> c.misses)
 let length c = locked c (fun () -> Hashtbl.length c.tbl)

@@ -6,21 +6,44 @@
     by a mutex; the compute function itself runs {e outside} the lock,
     so several domains may race to fill the same key — the first insert
     wins and the verdict is identical either way because the computation
-    is a pure function of the fingerprint. *)
+    is a pure function of the fingerprint.
+
+    A cache may be created with a {!backing}: a second, typically
+    persistent, tier consulted on memory misses and fed on inserts.
+    The backing decides its own policy (serialisation, which values are
+    worth persisting); the cache only promises to call [load] before
+    computing and [save] after a fresh computation. *)
 
 type 'a t
 
-val create : unit -> 'a t
+type 'a backing = {
+  load : string -> 'a option;
+      (** consulted on a memory miss, under the cache lock — must be
+          cheap (an index lookup, not a recomputation) *)
+  save : string -> 'a -> unit;
+      (** called once per freshly computed value, under the cache lock;
+          may ignore values it does not want to persist *)
+}
+
+val create : ?backing:'a backing -> unit -> 'a t
 
 val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
 (** [find_or_add c key compute] returns the cached value for [key],
     computing and inserting it on a miss. *)
 
+val find_or_add' :
+  'a t -> string -> (unit -> 'a) -> 'a * [ `Mem | `Disk | `Miss ]
+(** Like {!find_or_add} but also reports where the value came from:
+    the in-memory table, the backing, or a fresh computation. *)
+
 val hits : 'a t -> int
-(** Number of [find_or_add] calls answered from the table. *)
+(** Number of [find_or_add] calls answered from the in-memory table. *)
+
+val disk_hits : 'a t -> int
+(** Number of [find_or_add] calls answered by the backing. *)
 
 val misses : 'a t -> int
 (** Number of [find_or_add] calls that ran [compute]. *)
 
 val length : 'a t -> int
-(** Number of distinct keys currently stored. *)
+(** Number of distinct keys currently stored in memory. *)

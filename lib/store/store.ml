@@ -1,0 +1,241 @@
+let format_version = 1
+
+type stats = {
+  entries : int;
+  loaded : int;
+  stale_dropped : int;
+  torn_dropped : int;
+  appended : int;
+}
+
+type t = {
+  path : string;
+  salt : string;
+  tbl : (string, string) Hashtbl.t;
+  m : Mutex.t;
+  mutable oc : out_channel option;
+  mutable loaded : int;
+  mutable stale_dropped : int;
+  mutable torn_dropped : int;
+  mutable appended : int;
+  mutable closed : bool;
+}
+
+let magic = "cpsdim-store"
+
+let header salt = Printf.sprintf "%s %d %s\n" magic format_version salt
+
+(* FNV-1a 64-bit, hex-printed: cheap, stable across platforms, and
+   plenty to detect torn or bit-flipped records (not an integrity
+   guarantee against an adversary — the store is a local cache). *)
+let fnv64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let record key value =
+  Printf.sprintf "R %d %d %s\n%s%s\n" (String.length key) (String.length value)
+    (fnv64 (key ^ value))
+    key value
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+(* the file contents after the header: returns the records in file
+   order plus the count of damaged/torn records dropped (the first
+   damaged byte poisons everything after it — an append that landed
+   after a torn record cannot be trusted to be framed correctly) *)
+let parse_records content =
+  let len = String.length content in
+  let out = ref [] in
+  let pos = ref 0 in
+  let torn = ref 0 in
+  (try
+     while !pos < len do
+       let nl =
+         match String.index_from_opt content !pos '\n' with
+         | Some i -> i
+         | None -> raise Exit
+       in
+       let hdr = String.sub content !pos (nl - !pos) in
+       (match String.split_on_char ' ' hdr with
+        | [ "R"; klen; vlen; sum ] ->
+          let klen = int_of_string klen and vlen = int_of_string vlen in
+          if klen < 0 || vlen < 0 then raise Exit;
+          let kstart = nl + 1 in
+          if kstart + klen + vlen + 1 > len then raise Exit;
+          let key = String.sub content kstart klen in
+          let value = String.sub content (kstart + klen) vlen in
+          if content.[kstart + klen + vlen] <> '\n' then raise Exit;
+          if not (String.equal (fnv64 (key ^ value)) sum) then raise Exit;
+          out := (key, value) :: !out;
+          pos := kstart + klen + vlen + 1
+        | _ -> raise Exit)
+     done
+   with Exit | Failure _ -> torn := 1);
+  (List.rev !out, !torn)
+
+let parse_header content =
+  match String.index_opt content '\n' with
+  | None -> Error "missing header"
+  | Some nl -> (
+    let line = String.sub content 0 nl in
+    match String.split_on_char ' ' line with
+    | m :: v :: rest when String.equal m magic -> (
+      match int_of_string_opt v with
+      | Some v when v = format_version ->
+        Ok (String.concat " " rest, String.sub content (nl + 1) (String.length content - nl - 1))
+      | Some v -> Error (Printf.sprintf "format version %d (this build reads %d)" v format_version)
+      | None -> Error "malformed header")
+    | _ -> Error "not a cpsdim verification store")
+
+let read_file path =
+  try Ok (In_channel.with_open_bin path In_channel.input_all)
+  with Sys_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe rewrite: full contents to a temp file in the same
+   directory, then an atomic rename over the target. *)
+
+let rewrite ~path ~salt entries =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc (header salt);
+      List.iter
+        (fun (k, v) -> Out_channel.output_string oc (record k v))
+        entries);
+  Sys.rename tmp path
+
+let open_ ~path ~salt =
+  if String.contains salt '\n' then Error "Store.open_: salt contains a newline"
+  else begin
+    let fresh () =
+      rewrite ~path ~salt [];
+      Ok ([], 0, 0)
+    in
+    let load () =
+      if not (Sys.file_exists path) then fresh ()
+      else
+        match read_file path with
+        | Error m -> Error m
+        | Ok "" -> fresh ()
+        | Ok content -> (
+          match parse_header content with
+          | Error m -> Error (Printf.sprintf "%s: %s" path m)
+          | Ok (file_salt, body) ->
+            let records, torn = parse_records body in
+            if not (String.equal file_salt salt) then begin
+              (* stale engine: drop everything, restart empty *)
+              rewrite ~path ~salt [];
+              Ok ([], List.length records + torn, 0)
+            end
+            else begin
+              (* heal a torn tail so new appends land cleanly *)
+              if torn > 0 then rewrite ~path ~salt records;
+              Ok (records, 0, torn)
+            end)
+    in
+    match (try load () with Sys_error m -> Error m) with
+    | Error m -> Error m
+    | Ok (records, stale_dropped, torn_dropped) ->
+      let tbl = Hashtbl.create 256 in
+      List.iter
+        (fun (k, v) -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k v)
+        records;
+      Ok
+        {
+          path;
+          salt;
+          tbl;
+          m = Mutex.create ();
+          oc = None;
+          loaded = List.length records;
+          stale_dropped;
+          torn_dropped;
+          appended = 0;
+          closed = false;
+        }
+  end
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let path t = t.path
+let salt t = t.salt
+
+let find t key = locked t (fun () -> Hashtbl.find_opt t.tbl key)
+let mem t key = locked t (fun () -> Hashtbl.mem t.tbl key)
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let out_channel t =
+  match t.oc with
+  | Some oc -> oc
+  | None ->
+    let oc = open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 t.path in
+    t.oc <- Some oc;
+    oc
+
+let add t key value =
+  locked t (fun () ->
+      if not (t.closed || Hashtbl.mem t.tbl key) then begin
+        Hashtbl.add t.tbl key value;
+        (* disk failures (full disk, revoked permissions) degrade to an
+           in-memory cache rather than aborting a verification run *)
+        (try
+           let oc = out_channel t in
+           Out_channel.output_string oc (record key value);
+           Out_channel.flush oc;
+           t.appended <- t.appended + 1
+         with Sys_error _ -> ())
+      end)
+
+let stats t =
+  locked t (fun () ->
+      {
+        entries = Hashtbl.length t.tbl;
+        loaded = t.loaded;
+        stale_dropped = t.stale_dropped;
+        torn_dropped = t.torn_dropped;
+        appended = t.appended;
+      })
+
+let iter t f = locked t (fun () -> Hashtbl.iter f t.tbl)
+
+let close_channel t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    t.oc <- None;
+    (try Out_channel.close oc with Sys_error _ -> ())
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      close_channel t;
+      try rewrite ~path:t.path ~salt:t.salt [] with Sys_error _ -> ())
+
+let flush t =
+  locked t (fun () ->
+      match t.oc with
+      | Some oc -> ( try Out_channel.flush oc with Sys_error _ -> ())
+      | None -> ())
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      close_channel t)
+
+let peek ~path =
+  match read_file path with
+  | Error m -> Error m
+  | Ok "" -> Error (path ^ ": empty file")
+  | Ok content -> (
+    match parse_header content with
+    | Error m -> Error (Printf.sprintf "%s: %s" path m)
+    | Ok (salt, body) ->
+      let records, _torn = parse_records body in
+      Ok (salt, List.length records))

@@ -9,8 +9,10 @@
 
 let gen_table =
   QCheck2.Gen.(
-    let* t_w_max = int_range 0 7 in
-    let len = t_w_max + 1 in
+    let* rows = int_range 1 8 in
+    let* stride = int_range 1 3 in
+    let len = rows in
+    let t_w_max = stride * (rows - 1) in
     let* j_star = int_range 5 30 in
     let* jt = int_range 1 j_star in
     let* je = int_range (j_star + 1) (j_star + 20) in
@@ -28,6 +30,7 @@ let gen_table =
         jt;
         je;
         t_w_max;
+        stride;
         t_dw_min;
         t_dw_max;
         j_at_min;
@@ -59,6 +62,24 @@ let prop_rle_roundtrip =
       return
         (Array.concat (List.map (fun (v, n) -> Array.make n v) runs)))
     (fun a -> Core.Table_codec.decode (Core.Table_codec.encode a) = a)
+
+(* format-1 strings (no version tag, no stride) must still decode, as
+   stride 1 — tables persisted before the codec bump *)
+let v1_decode_compat () =
+  let v1 = "10 3 15 2 | 4*3 | 6*2,5*1 | 8*3 | 7*3" in
+  match Core.Table_codec.table_of_string v1 with
+  | Error e -> Alcotest.failf "v1 decode failed: %s" e
+  | Ok t ->
+    Alcotest.(check int) "stride defaults to 1" 1 t.Core.Dwell.stride;
+    Alcotest.(check int) "t_w_max" 2 t.Core.Dwell.t_w_max;
+    Alcotest.(check (array int))
+      "t_dw_min" [| 4; 4; 4 |] t.Core.Dwell.t_dw_min;
+    (* and a v1 table re-encodes in the current format losslessly *)
+    (match
+       Core.Table_codec.table_of_string (Core.Table_codec.table_to_string t)
+     with
+    | Ok t' -> Alcotest.(check bool) "v2 round-trip of v1 table" true (t = t')
+    | Error e -> Alcotest.failf "re-encode failed: %s" e)
 
 (* ------------------------------------------------------------------ *)
 (* Random fault specs *)
@@ -115,4 +136,7 @@ let () =
       ( "roundtrip",
         List.map QCheck_alcotest.to_alcotest
           [ prop_table_roundtrip; prop_rle_roundtrip; prop_spec_roundtrip ] );
+      ( "compat",
+        [ Alcotest.test_case "v1 header decodes as stride 1" `Quick
+            v1_decode_compat ] );
     ]
