@@ -641,6 +641,30 @@ let microbench () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot plumbing shared by X8/X9/X11/X12/X13: each section writes
+   its report twice — the latest value to its own BENCH_<x>.json (the
+   regression baseline `cpsdim report diff` runs against) and the same
+   line appended to BENCH_history.jsonl, so the trajectory of any
+   metric across bench runs can be recovered with one grep. *)
+
+let history_file = "BENCH_history.jsonl"
+
+let write_snapshot ~file ~command =
+  let report = Obs.Report.collect ~command () in
+  let line = Obs.Report.json_to_string (Obs.Report.to_json report) in
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc line;
+      Out_channel.output_char oc '\n');
+  Out_channel.with_open_gen
+    [ Open_append; Open_creat; Open_text ]
+    0o644 history_file
+    (fun oc ->
+      Out_channel.output_string oc line;
+      Out_channel.output_char oc '\n');
+  Printf.printf "wrote %s (appended to %s)\n" file history_file;
+  report
+
+(* ------------------------------------------------------------------ *)
 (* Observability snapshot: one instrumented pass over the three
    compute-heavy engines, written to BENCH_obs.json so future changes
    have a per-engine states/sec and tables/sec trajectory to regress
@@ -688,13 +712,8 @@ let obs_snapshot () =
           ignore (Cosim.Engine.run scenario);
           Obs.Metric.set_gauge "bench.cosim.samples_per_sec"
             (60. /. Float.max 1e-9 (Unix.gettimeofday () -. t0)));
-      let report = Obs.Report.collect ~command:"bench" () in
-      let oc = open_out "BENCH_obs.json" in
-      output_string oc (Obs.Report.json_to_string (Obs.Report.to_json report));
-      output_char oc '\n';
-      close_out oc;
-      Format.printf "%a@." Obs.Report.pp report;
-      print_endline "wrote BENCH_obs.json")
+      let report = write_snapshot ~file:"BENCH_obs.json" ~command:"bench" in
+      Format.printf "%a@." Obs.Report.pp report)
 
 (* ------------------------------------------------------------------ *)
 (* Fault-campaign snapshot: a fixed-seed blackout campaign over the
@@ -744,12 +763,7 @@ let faults_snapshot () =
             gauge "blackout_samples" g.Cosim.Campaign.blackout_samples)
           summary.Cosim.Campaign.slots;
         Format.printf "%a@." Cosim.Campaign.pp summary);
-      let report = Obs.Report.collect ~command:"bench-faults" () in
-      let oc = open_out "BENCH_faults.json" in
-      output_string oc (Obs.Report.json_to_string (Obs.Report.to_json report));
-      output_char oc '\n';
-      close_out oc;
-      print_endline "wrote BENCH_faults.json")
+      ignore (write_snapshot ~file:"BENCH_faults.json" ~command:"bench-faults"))
 
 (* ------------------------------------------------------------------ *)
 (* Parallel snapshot: the three parallel entry points (dwell tables,
@@ -768,53 +782,67 @@ let par_snapshot () =
     | Error e -> failwith e
   in
   let c1 = Casestudy.c1 in
-  let measure jobs =
-    Par.Pool.set_default_jobs jobs;
-    let t0 = Unix.gettimeofday () in
-    let table =
-      Core.Dwell.compute c1.Casestudy.plant c1.Casestudy.gains
-        ~j_star:c1.Casestudy.j_star
-    in
-    let mapping =
-      Core.Mapping.first_fit
-        ~cache:(Core.Mapping.create_cache ())
-        (Lazy.force apps)
-    in
-    let slots = List.map (fun s -> s.Core.Mapping.apps) mapping.Core.Mapping.slots in
-    let campaign =
-      match Cosim.Campaign.run ~spec ~seed:42L ~runs:10 ~horizon:300 slots with
-      | Ok summary -> summary
-      | Error e -> failwith e
-    in
-    let dt = Unix.gettimeofday () -. t0 in
-    let rendered =
-      String.concat "\n"
-        [
-          Core.Table_codec.table_to_string table;
-          Format.asprintf "%a" Core.Mapping.pp mapping;
-          Format.asprintf "%a" Cosim.Campaign.pp campaign;
-        ]
-    in
-    (dt, rendered)
-  in
-  let seq_s, reference = measure 1 in
-  let p2_s, out2 = measure 2 in
-  let p4_s, out4 = measure 4 in
-  Par.Pool.set_default_jobs 1;
-  if not (String.equal reference out2) then
-    failwith "par snapshot: jobs=2 output diverges from sequential";
-  if not (String.equal reference out4) then
-    failwith "par snapshot: jobs=4 output diverges from sequential";
-  let cores = Domain.recommended_domain_count () in
-  Printf.printf
-    "jobs=1 %.2fs | jobs=2 %.2fs (%.2fx) | jobs=4 %.2fs (%.2fx) on %d core(s)\n"
-    seq_s p2_s (seq_s /. p2_s) p4_s (seq_s /. p4_s) cores;
-  print_endline "packings, campaign summaries and verdicts byte-identical";
+  (* obs is live *during* the measured runs so the snapshot carries the
+     per-domain pool histograms (pool.d<i>.queue_wait_s / run_s /
+     idle_s) and the per-verdict provenance counters
+     (cache.verdict.{mem,disk,engine}) alongside the wall-clock
+     gauges.  The instrumentation never feeds back into results, so
+     the byte-identity assertions still hold. *)
   Obs.Metric.reset ();
   Obs.Span.reset ();
   Obs.Trace_ctx.reset ();
   Obs.Trace_ctx.enable ();
-  Fun.protect ~finally:Obs.Trace_ctx.disable (fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace_ctx.disable ();
+      Par.Pool.set_default_jobs 1)
+    (fun () ->
+      let measure jobs =
+        Par.Pool.set_default_jobs jobs;
+        let t0 = Obs.Clock.now () in
+        let table =
+          Core.Dwell.compute c1.Casestudy.plant c1.Casestudy.gains
+            ~j_star:c1.Casestudy.j_star
+        in
+        let mapping =
+          Core.Mapping.first_fit
+            ~cache:(Core.Mapping.create_cache ())
+            (Lazy.force apps)
+        in
+        let slots =
+          List.map (fun s -> s.Core.Mapping.apps) mapping.Core.Mapping.slots
+        in
+        let campaign =
+          match
+            Cosim.Campaign.run ~spec ~seed:42L ~runs:10 ~horizon:300 slots
+          with
+          | Ok summary -> summary
+          | Error e -> failwith e
+        in
+        let dt = Obs.Clock.now () -. t0 in
+        let rendered =
+          String.concat "\n"
+            [
+              Core.Table_codec.table_to_string table;
+              Format.asprintf "%a" Core.Mapping.pp mapping;
+              Format.asprintf "%a" Cosim.Campaign.pp campaign;
+            ]
+        in
+        (dt, rendered)
+      in
+      let seq_s, reference = measure 1 in
+      let p2_s, out2 = measure 2 in
+      let p4_s, out4 = measure 4 in
+      Par.Pool.set_default_jobs 1;
+      if not (String.equal reference out2) then
+        failwith "par snapshot: jobs=2 output diverges from sequential";
+      if not (String.equal reference out4) then
+        failwith "par snapshot: jobs=4 output diverges from sequential";
+      let cores = Domain.recommended_domain_count () in
+      Printf.printf
+        "jobs=1 %.2fs | jobs=2 %.2fs (%.2fx) | jobs=4 %.2fs (%.2fx) on %d core(s)\n"
+        seq_s p2_s (seq_s /. p2_s) p4_s (seq_s /. p4_s) cores;
+      print_endline "packings, campaign summaries and verdicts byte-identical";
       Obs.Metric.set_gauge "bench.par.seq_s" seq_s;
       Obs.Metric.set_gauge "bench.par.p2_s" p2_s;
       Obs.Metric.set_gauge "bench.par.p4_s" p4_s;
@@ -822,12 +850,7 @@ let par_snapshot () =
       Obs.Metric.set_gauge "bench.par.speedup_4" (seq_s /. p4_s);
       Obs.Metric.set_gauge "bench.par.verdicts_equal" 1.;
       Obs.Metric.set_gauge "bench.par.cores" (float_of_int cores);
-      let report = Obs.Report.collect ~command:"bench-par" () in
-      let oc = open_out "BENCH_par.json" in
-      output_string oc (Obs.Report.json_to_string (Obs.Report.to_json report));
-      output_char oc '\n';
-      close_out oc;
-      print_endline "wrote BENCH_par.json")
+      ignore (write_snapshot ~file:"BENCH_par.json" ~command:"bench-par"))
 
 (* ------------------------------------------------------------------ *)
 (* Search-engine snapshot: throughput of the unified lib/search engine
@@ -840,6 +863,10 @@ let par_snapshot () =
 
 let search_snapshot () =
   section "X12" "Search-engine snapshot — BENCH_search.json (BFS/DFS, states/sec)";
+  (* pinned sequential: the committed baseline's deterministic keys
+     (state counts, histogram .n) must not depend on the host's core
+     count or on speculative parallel expansion *)
+  Par.Pool.set_default_jobs 1;
   let specs_of names = Core.Mapping.specs_of_group (List.map find_app names) in
   let s2 = specs_of [ "C6"; "C2" ] and pair = specs_of [ "C1"; "C5" ] in
   (* order-independence: every engine, both orders, same verdict *)
@@ -871,9 +898,13 @@ let search_snapshot () =
   Obs.Trace_ctx.reset ();
   Obs.Trace_ctx.enable ();
   Fun.protect ~finally:Obs.Trace_ctx.disable (fun () ->
+      (* two gauges per engine: ".states" is an exact count the CI
+         deterministic gate holds flat; ".states_per_sec" carries
+         "per_sec" so the diff classifier files it under timing *)
       let gauge name (states : int) (elapsed : float) =
         let v = float_of_int states /. Float.max 1e-9 elapsed in
-        Obs.Metric.set_gauge name v;
+        Obs.Metric.set_gauge (name ^ ".states") (float_of_int states);
+        Obs.Metric.set_gauge (name ^ ".states_per_sec") v;
         Printf.printf "  %-34s %9d states %10.0f states/sec\n" name states v
       in
       let r = Core.Dverify.verify s2 in
@@ -887,12 +918,7 @@ let search_snapshot () =
       gauge "bench.search.reach_c1c5" rp.Core.Ta_model.stats.Ta.Reach.states
         rp.Core.Ta_model.stats.Ta.Reach.elapsed;
       Obs.Metric.set_gauge "bench.search.order_independent" 1.;
-      let report = Obs.Report.collect ~command:"bench-search" () in
-      let oc = open_out "BENCH_search.json" in
-      output_string oc (Obs.Report.json_to_string (Obs.Report.to_json report));
-      output_char oc '\n';
-      close_out oc;
-      print_endline "wrote BENCH_search.json")
+      ignore (write_snapshot ~file:"BENCH_search.json" ~command:"bench-search"))
 
 (* ------------------------------------------------------------------ *)
 (* Persistent-cache snapshot: the full case-study pipeline (dwell
@@ -904,6 +930,9 @@ let search_snapshot () =
 
 let cache_snapshot () =
   section "X13" "Persistent-cache snapshot — BENCH_cache.json (cold vs warm)";
+  (* pinned sequential: speculative parallel probes would perturb the
+     engine-run and provenance counts the committed baseline pins *)
+  Par.Pool.set_default_jobs 1;
   let path = Filename.temp_file "cpsdim-bench" ".store" in
   Sys.remove path;
   let engine_runs = ref 0 in
@@ -918,7 +947,7 @@ let cache_snapshot () =
       Fun.protect
         ~finally:(fun () -> Core.Pcache.close pc)
         (fun () ->
-          let t0 = Unix.gettimeofday () in
+          let t0 = Obs.Clock.now () in
           let apps =
             List.map
               (fun (a : Casestudy.app) ->
@@ -934,33 +963,37 @@ let cache_snapshot () =
               ~cache:(Core.Pcache.mapping_cache pc)
               ~verifier:counting apps
           in
-          let dt = Unix.gettimeofday () -. t0 in
+          let dt = Obs.Clock.now () -. t0 in
           let entries = (Core.Pcache.stats pc).Store.entries in
           (dt, Format.asprintf "%a" Core.Mapping.pp mapping, entries))
   in
-  engine_runs := 0;
-  let cold_s, cold_out, entries = run () in
-  let cold_runs = !engine_runs in
-  engine_runs := 0;
-  let warm_s, warm_out, _ = run () in
-  let warm_runs = !engine_runs in
-  Sys.remove path;
-  if not (String.equal cold_out warm_out) then
-    failwith "cache snapshot: warm output diverges from cold";
-  if warm_runs <> 0 then
-    failwith
-      (Printf.sprintf "cache snapshot: warm run performed %d engine run(s)"
-         warm_runs);
-  let speedup = cold_s /. Float.max 1e-9 warm_s in
-  Printf.printf
-    "cold %.2fs (%d engine runs) | warm %.2fs (0 engine runs, %.0fx) | %d records\n"
-    cold_s cold_runs warm_s speedup entries;
-  print_endline "warm packing byte-identical to cold";
+  (* obs is live across both passes, so the snapshot records the full
+     hit mix: the cold pass answers every group from the engine, the
+     warm pass from disk — cache.verdict.engine vs cache.verdict.disk
+     in the same report, next to the store.find/append latencies *)
   Obs.Metric.reset ();
   Obs.Span.reset ();
   Obs.Trace_ctx.reset ();
   Obs.Trace_ctx.enable ();
   Fun.protect ~finally:Obs.Trace_ctx.disable (fun () ->
+      engine_runs := 0;
+      let cold_s, cold_out, entries = run () in
+      let cold_runs = !engine_runs in
+      engine_runs := 0;
+      let warm_s, warm_out, _ = run () in
+      let warm_runs = !engine_runs in
+      Sys.remove path;
+      if not (String.equal cold_out warm_out) then
+        failwith "cache snapshot: warm output diverges from cold";
+      if warm_runs <> 0 then
+        failwith
+          (Printf.sprintf "cache snapshot: warm run performed %d engine run(s)"
+             warm_runs);
+      let speedup = cold_s /. Float.max 1e-9 warm_s in
+      Printf.printf
+        "cold %.2fs (%d engine runs) | warm %.2fs (0 engine runs, %.0fx) | %d records\n"
+        cold_s cold_runs warm_s speedup entries;
+      print_endline "warm packing byte-identical to cold";
       Obs.Metric.set_gauge "bench.cache.cold_s" cold_s;
       Obs.Metric.set_gauge "bench.cache.warm_s" warm_s;
       Obs.Metric.set_gauge "bench.cache.speedup" speedup;
@@ -969,12 +1002,7 @@ let cache_snapshot () =
       Obs.Metric.set_gauge "bench.cache.warm_engine_runs"
         (float_of_int warm_runs);
       Obs.Metric.set_gauge "bench.cache.entries" (float_of_int entries);
-      let report = Obs.Report.collect ~command:"bench-cache" () in
-      let oc = open_out "BENCH_cache.json" in
-      output_string oc (Obs.Report.json_to_string (Obs.Report.to_json report));
-      output_char oc '\n';
-      close_out oc;
-      print_endline "wrote BENCH_cache.json")
+      ignore (write_snapshot ~file:"BENCH_cache.json" ~command:"bench-cache"))
 
 (* ------------------------------------------------------------------ *)
 

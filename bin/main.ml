@@ -467,7 +467,7 @@ let cache_clear_run path =
 (* ------------------------------------------------------------------ *)
 (* report *)
 
-let report_cmd_run path =
+let report_show_run path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error m -> prerr_endline m; 1
   | contents ->
@@ -488,6 +488,70 @@ let report_cmd_run path =
           Printf.printf "(%d run(s) in %s; showing the most recent)\n"
             (List.length runs) path;
           0))
+
+(* the most recent report in a file that is either a single-line
+   snapshot (BENCH_*.json) or a multi-run JSONL log *)
+let read_last_report path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | contents ->
+    (match
+       List.rev
+         (List.filter
+            (fun l -> String.trim l <> "")
+            (String.split_on_char '\n' contents))
+     with
+     | [] -> Error (path ^ " holds no runs")
+     | last :: _ ->
+       Result.map_error
+         (fun m -> path ^ ": " ^ m)
+         (Result.bind (Obs.Report.json_of_string last) Obs.Report.of_json))
+
+(* exit codes: 0 = within tolerances, 1 = bad input, 2 = regression *)
+let report_diff_run gate timing_gate old_path new_path =
+  match (read_last_report old_path, read_last_report new_path) with
+  | Error m, _ | _, Error m -> Printf.eprintf "report diff: %s\n" m; 1
+  | Ok old_report, Ok new_report ->
+    let changes = Obs.Diff.compare_reports ~old_report ~new_report in
+    let failing = Obs.Diff.regressions ?gate ?timing_gate changes in
+    let added =
+      List.length (List.filter (fun c -> c.Obs.Diff.old_v = None) changes)
+    in
+    List.iter
+      (fun c ->
+        let tag =
+          match Obs.Diff.status_of ?gate ?timing_gate c with
+          | Obs.Diff.Missing -> "MISSING    "
+          | Obs.Diff.Regression | Obs.Diff.Pass | Obs.Diff.Added ->
+            "REGRESSION "
+        in
+        Format.printf "%s%a@." tag Obs.Diff.pp_change c)
+      failing;
+    let gate_desc which = function
+      | Some g -> Printf.sprintf "%s ±%g%%" which g
+      | None -> Printf.sprintf "%s ungated" which
+    in
+    Format.printf "report diff: %d key(s) compared (%d new), %d failing (%s, %s)@."
+      (List.length changes) added (List.length failing)
+      (gate_desc "deterministic" gate)
+      (gate_desc "timing" timing_gate);
+    if failing = [] then 0 else 2
+
+let report_cmd_run gate timing_gate args =
+  match args with
+  | [] -> report_show_run "cpsdim-metrics.jsonl"
+  | [ path ] -> report_show_run path
+  | [ "diff"; old_path; new_path ] ->
+    report_diff_run gate timing_gate old_path new_path
+  | "diff" :: _ ->
+    prerr_endline
+      "report diff: usage: cpsdim report diff OLD NEW [--gate PCT] \
+       [--timing-gate PCT]";
+    1
+  | _ ->
+    prerr_endline
+      "report: usage: cpsdim report [PATH] | cpsdim report diff OLD NEW";
+    1
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner plumbing *)
@@ -513,26 +577,63 @@ let trace_arg =
     & info [ "trace" ]
         ~doc:"Collect metrics and timing spans and print a summary to stderr.")
 
-let obs_wrap command metrics trace f =
-  if metrics = None && not trace then f ()
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"PATH"
+        ~doc:
+          "Stream structured observability events (search heartbeats, pool \
+           task lifecycles, cache provenance), appending one JSON line per \
+           event to $(docv) when the run finishes.")
+
+let write_events path =
+  let evs = Obs.Event.drain () in
+  let dropped = Obs.Event.dropped () in
+  try
+    Out_channel.with_open_gen
+      [ Open_append; Open_creat; Open_text ]
+      0o644 path
+      (fun oc ->
+        List.iter
+          (fun ev ->
+            Out_channel.output_string oc
+              (Obs.Report.json_to_string (Obs.Event.to_json ev) ^ "\n"))
+          evs;
+        (* make truncation visible in the stream itself *)
+        if dropped > 0 then
+          Out_channel.output_string oc
+            (Printf.sprintf "{\"ev\":\"obs.events_dropped\",\"n\":%d}\n" dropped))
+  with Sys_error _ -> ()
+
+let obs_wrap command metrics trace events f =
+  if metrics = None && not trace && events = None then f ()
   else begin
-    Obs.Trace_ctx.enable ();
+    (* --events alone leaves the metric/span machinery off: the event
+       stream has its own switch, and enabling both only for their
+       respective sinks keeps each flag's overhead to what it pays
+       for. *)
+    if metrics <> None || trace then Obs.Trace_ctx.enable ();
+    if events <> None then Obs.Event.enable ();
     let root = Obs.Span.start command in
     Fun.protect
       ~finally:(fun () ->
         Obs.Span.finish root;
-        let report = Obs.Report.collect ~command () in
-        Option.iter
-          (fun path -> Obs.Sink.emit (Obs.Sink.jsonl ~path) report)
-          metrics;
-        if trace then Obs.Sink.emit Obs.Sink.stderr_summary report)
+        Option.iter write_events events;
+        if metrics <> None || trace then begin
+          let report = Obs.Report.collect ~command () in
+          Option.iter
+            (fun path -> Obs.Sink.emit (Obs.Sink.jsonl ~path) report)
+            metrics;
+          if trace then Obs.Sink.emit Obs.Sink.stderr_summary report
+        end)
       f
   end
 
 let with_obs command thunk =
   Term.(
-    const (fun metrics trace f -> obs_wrap command metrics trace f)
-    $ metrics_arg $ trace_arg $ thunk)
+    const (fun metrics trace events f -> obs_wrap command metrics trace events f)
+    $ metrics_arg $ trace_arg $ events_arg $ thunk)
 
 let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"APP" ~doc:"Case-study application names (C1..C6).")
@@ -746,17 +847,42 @@ let margins_cmd =
     (with_obs "margins"
        Term.(const (fun names () -> margins_cmd_run names) $ names_arg))
 
-let report_path_arg =
+let report_args =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"ARG"
+        ~doc:
+          "Either a JSONL file written by --metrics (default \
+           cpsdim-metrics.jsonl), or $(b,diff) $(i,OLD) $(i,NEW) to compare \
+           two report files.")
+
+let gate_arg =
   Arg.(
     value
-    & pos 0 string "cpsdim-metrics.jsonl"
-    & info [] ~docv:"PATH" ~doc:"JSONL file written by --metrics.")
+    & opt (some float) None
+    & info [ "gate" ] ~docv:"PCT"
+        ~doc:
+          "With $(b,diff): fail (exit 2) when a deterministic metric (state \
+           counts, cache hit mixes, sample counts) moved against its \
+           direction by more than $(docv) percent, or vanished.")
+
+let timing_gate_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timing-gate" ] ~docv:"PCT"
+        ~doc:
+          "With $(b,diff): same gate for timing metrics (durations, \
+           states/sec, speedups).  Left off by default so wall-clock noise \
+           between machines cannot fail a comparison.")
 
 let report_cmd =
   Cmd.v
     (Cmd.info "report"
-       ~doc:"Pretty-print the most recent JSONL metrics run")
-    Term.(const report_cmd_run $ report_path_arg)
+       ~doc:
+         "Pretty-print the most recent JSONL metrics run, or diff two \
+          report files with regression gates")
+    Term.(const report_cmd_run $ gate_arg $ timing_gate_arg $ report_args)
 
 let cache_path_arg =
   Arg.(

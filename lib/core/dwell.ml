@@ -118,9 +118,9 @@ let analyse_wait ?threshold p g ~j_star ~t_w =
 let analyse_wait_timed ?threshold p g ~j_star ~t_w =
   if not (Obs.Trace_ctx.enabled ()) then analyse_wait ?threshold p g ~j_star ~t_w
   else begin
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     let r = analyse_wait ?threshold p g ~j_star ~t_w in
-    Obs.Metric.observe_value "dwell.per_tw_s" (Unix.gettimeofday () -. t0);
+    Obs.Metric.observe_value "dwell.per_tw_s" (Obs.Clock.now () -. t0);
     r
   end
 
@@ -160,7 +160,7 @@ let waits t = List.init (Array.length t.t_dw_min) (fun i -> i * t.stride)
 
 type cache = t Par.Vcache.t
 
-let create_cache ?backing () = Par.Vcache.create ?backing ()
+let create_cache ?backing () = Par.Vcache.create ~label:"dwell" ?backing ()
 
 let fingerprint ?threshold ?(stride = 1) (p : Control.Plant.t) (g : Control.Switched.gains) ~j_star =
   let fl x = Printf.sprintf "%h" x in

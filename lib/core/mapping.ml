@@ -75,7 +75,7 @@ let escalating ?stage_deadline ?max_states ?(instances = 2)
 
 type cache = verdict Par.Vcache.t
 
-let create_cache ?backing () = Par.Vcache.create ?backing ()
+let create_cache ?backing () = Par.Vcache.create ~label:"verdict" ?backing ()
 let cache_stats c = (Par.Vcache.hits c + Par.Vcache.disk_hits c, Par.Vcache.misses c)
 
 let fingerprint specs =
@@ -108,9 +108,9 @@ let apply_verifier ?cache verifier specs =
 
 (* a probe with its latency and provenance, for the verdict histogram *)
 let timed_probe ?cache verifier specs =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let v, src = apply_verifier ?cache verifier specs in
-  (v, Unix.gettimeofday () -. t0, src)
+  (v, Obs.Clock.now () -. t0, src)
 
 (* cache hits get their own counter and stay out of the latency
    histogram: a ~0 s table lookup is not an engine run, and mixing the

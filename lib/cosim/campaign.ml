@@ -61,6 +61,7 @@ let run ?pool ?policy ?threshold ~spec ~seed ~runs ~horizon slots =
      domain in any order.  The campaign summary folds them back in
      (slot, run) order and is byte-identical at any jobs count. *)
   let trial (s, k) =
+    let t0 = Obs.Clock.now () in
     let apps = slot_arr.(s) in
     let names =
       Array.of_list
@@ -72,23 +73,38 @@ let run ?pool ?policy ?threshold ~spec ~seed ~runs ~horizon slots =
     let plan_seed = Faults.Prng.next_int64 (Faults.Prng.split stream 1) in
     let disturbances = random_disturbances dist_rng apps ~horizon in
     let scenario = Scenario.make ~apps ~disturbances ~horizon in
-    match Faults.Plan.materialize ~spec ~seed:plan_seed ~apps:names ~horizon with
-    | Error e -> Error e
-    | Ok plan ->
-      let trace, fault_summary = Engine.run_with_faults ?policy ~plan scenario in
-      let report = Monitor.check ?threshold ~summary:fault_summary ~apps trace in
-      Ok
-        {
-          t_clean = report.Monitor.ok;
-          t_settling = Monitor.count report `Settling;
-          t_wait = Monitor.count report `Wait;
-          t_dwell = Monitor.count report `Dwell;
-          t_suppressed = Monitor.count report `Suppressed;
-          t_injected = List.length fault_summary.Engine.injected;
-          t_blackout = fault_summary.Engine.blackout_samples;
-          t_losses = fault_summary.Engine.et_losses;
-          t_drops = fault_summary.Engine.sensor_drops;
-        }
+    let result =
+      match Faults.Plan.materialize ~spec ~seed:plan_seed ~apps:names ~horizon with
+      | Error e -> Error e
+      | Ok plan ->
+        let trace, fault_summary = Engine.run_with_faults ?policy ~plan scenario in
+        let report = Monitor.check ?threshold ~summary:fault_summary ~apps trace in
+        Ok
+          {
+            t_clean = report.Monitor.ok;
+            t_settling = Monitor.count report `Settling;
+            t_wait = Monitor.count report `Wait;
+            t_dwell = Monitor.count report `Dwell;
+            t_suppressed = Monitor.count report `Suppressed;
+            t_injected = List.length fault_summary.Engine.injected;
+            t_blackout = fault_summary.Engine.blackout_samples;
+            t_losses = fault_summary.Engine.et_losses;
+            t_drops = fault_summary.Engine.sensor_drops;
+          }
+    in
+    (* Emitted from whichever domain ran the trial; (slot, run, clean)
+       are pure functions of the seed, so the event multiset is
+       jobs-independent once timing fields are masked. *)
+    Obs.Event.emit "campaign.trial"
+      [
+        ("slot", Obs.Event.Int s);
+        ("run", Obs.Event.Int k);
+        ( "clean",
+          Obs.Event.Bool
+            (match result with Ok t -> t.t_clean | Error _ -> false) );
+        ("dur_s", Obs.Event.Float (Obs.Clock.now () -. t0));
+      ];
+    result
   in
   let pairs =
     List.concat_map

@@ -1,0 +1,4 @@
+external monotonic_s : unit -> float = "cpsdim_obs_monotonic_s"
+
+let now = monotonic_s
+let wall = Unix.gettimeofday

@@ -1,0 +1,16 @@
+(** Time sources for the observability layer.
+
+    All durations and event timestamps in lib/obs are measured on the
+    monotonic clock, so a span can never report a negative duration
+    when NTP steps the wall clock mid-run.  The wall clock survives
+    only as the single human-facing timestamp {!Report.collect} stamps
+    on each report. *)
+
+val now : unit -> float
+(** Seconds on [CLOCK_MONOTONIC].  The origin is unspecified (boot
+    time on Linux): only differences are meaningful. *)
+
+val wall : unit -> float
+(** [Unix.gettimeofday] — seconds since the epoch, subject to NTP
+    steps.  For report timestamps only; never use it to compute a
+    duration. *)

@@ -1,0 +1,26 @@
+/* Monotonic clock for lib/obs.
+ *
+ * Span durations and event timestamps must never go backwards across
+ * an NTP step, so they are read from CLOCK_MONOTONIC; the wall clock
+ * is kept only for the one human-facing timestamp per report.  The
+ * OCaml Unix library does not expose clock_gettime, hence this stub.
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value cpsdim_obs_monotonic_s(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+  {
+    /* unreachable on any POSIX system this repo targets; degrade to
+       the wall clock rather than failing the instrumented run */
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

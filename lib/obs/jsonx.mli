@@ -1,0 +1,24 @@
+(** Minimal JSON tree shared by reports, events and diffs (the repo
+    deliberately has no json dependency).  {!Report} re-exports the
+    constructors under its historical [Report.json] name. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line; strings escaped per RFC 8259.  [nan] floats
+    serialise as [null]. *)
+
+val of_string : string -> (t, string) result
+(** Strict recursive-descent parser for the subset emitted above
+    (numbers, strings, bools, null, arrays, objects). *)
+
+val escape : string -> string
+(** The string escaper used by {!to_string}, exposed for emitters that
+    build lines by hand. *)

@@ -1,8 +1,12 @@
 type counter = { c_name : string; v : int Atomic.t }
-type gauge = { g_name : string; mutable g : float; mutable g_set : bool }
+
+(* [None] = unset; a CAS loop makes [set_max] exact when several
+   domains race to publish peaks. *)
+type gauge = { g_name : string; g : float option Atomic.t }
 
 type histogram = {
   h_name : string;
+  h_lock : Mutex.t;
   mutable values : float array;
   mutable len : int;
 }
@@ -10,14 +14,26 @@ type histogram = {
 type metric = C of counter | G of gauge | H of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
 
 let find_or_create name make =
-  match Hashtbl.find_opt registry name with
-  | Some m -> m
-  | None ->
-    let m = make () in
-    Hashtbl.replace registry name m;
-    m
+  with_lock registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> m
+      | None ->
+        let m = make () in
+        Hashtbl.replace registry name m;
+        m)
 
 let counter name =
   match
@@ -32,55 +48,61 @@ let value c = Atomic.get c.v
 
 let gauge name =
   match
-    find_or_create name (fun () -> G { g_name = name; g = 0.; g_set = false })
+    find_or_create name (fun () -> G { g_name = name; g = Atomic.make None })
   with
   | G g -> g
   | C _ | H _ -> invalid_arg ("Metric.gauge: " ^ name ^ " is not a gauge")
 
-let set g v =
-  if Trace_ctx.enabled () then begin
-    g.g <- v;
-    g.g_set <- true
-  end
+let set g v = if Trace_ctx.enabled () then Atomic.set g.g (Some v)
 
 let set_max g v =
-  if Trace_ctx.enabled () then
-    if (not g.g_set) || v > g.g then begin
-      g.g <- v;
-      g.g_set <- true
-    end
+  if Trace_ctx.enabled () then begin
+    let rec loop () =
+      let cur = Atomic.get g.g in
+      match cur with
+      | Some m when v <= m -> ()
+      | _ -> if not (Atomic.compare_and_set g.g cur (Some v)) then loop ()
+    in
+    loop ()
+  end
 
-let gauge_value g = if g.g_set then Some g.g else None
+let gauge_value g = Atomic.get g.g
 
 let histogram name =
   match
     find_or_create name (fun () ->
-        H { h_name = name; values = [||]; len = 0 })
+        H { h_name = name; h_lock = Mutex.create (); values = [||]; len = 0 })
   with
   | H h -> h
   | C _ | G _ -> invalid_arg ("Metric.histogram: " ^ name ^ " is not a histogram")
 
 let observe h v =
-  if Trace_ctx.enabled () then begin
-    if h.len = Array.length h.values then begin
-      let cap = Int.max 16 (2 * h.len) in
-      let grown = Array.make cap 0. in
-      Array.blit h.values 0 grown 0 h.len;
-      h.values <- grown
-    end;
-    h.values.(h.len) <- v;
-    h.len <- h.len + 1
-  end
+  if Trace_ctx.enabled () then
+    with_lock h.h_lock (fun () ->
+        if h.len = Array.length h.values then begin
+          let cap = Int.max 16 (2 * h.len) in
+          let grown = Array.make cap 0. in
+          Array.blit h.values 0 grown 0 h.len;
+          h.values <- grown
+        end;
+        h.values.(h.len) <- v;
+        h.len <- h.len + 1)
 
-let sorted_values h = Array.sub h.values 0 h.len |> fun a -> Array.sort compare a; a
+(* Copy under the histogram lock, sort outside it. *)
+let sorted_values h =
+  let a = with_lock h.h_lock (fun () -> Array.sub h.values 0 h.len) in
+  Array.sort compare a;
+  a
 
-let percentile h q =
-  if h.len = 0 then nan
+let percentile_of_sorted a q =
+  let n = Array.length a in
+  if n = 0 then nan
   else begin
-    let a = sorted_values h in
-    let rank = int_of_float (ceil (q *. float_of_int h.len)) - 1 in
-    a.(Int.max 0 (Int.min (h.len - 1) rank))
+    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    a.(Int.max 0 (Int.min (n - 1) rank))
   end
+
+let percentile h q = percentile_of_sorted (sorted_values h) q
 
 let count name n = if Trace_ctx.enabled () then add (counter name) n
 let set_gauge name v = if Trace_ctx.enabled () then set (gauge name) v
@@ -102,32 +124,44 @@ type entry =
   | Gauge of string * float
   | Histogram of string * summary
 
-let summarise h =
-  let a = sorted_values h in
-  let n = h.len in
+let summarise_sorted a =
+  let n = Array.length a in
   let total = Array.fold_left ( +. ) 0. a in
   {
     n;
     min = a.(0);
     max = a.(n - 1);
     mean = total /. float_of_int n;
-    p50 = percentile h 0.5;
-    p90 = percentile h 0.9;
-    p99 = percentile h 0.99;
+    p50 = percentile_of_sorted a 0.5;
+    p90 = percentile_of_sorted a 0.9;
+    p99 = percentile_of_sorted a 0.99;
   }
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name m acc ->
+  (* Collect handles under the registry lock; summarising takes each
+     histogram's own lock, so do it after release to keep lock
+     ordering trivial. *)
+  let metrics =
+    with_lock registry_lock (fun () ->
+        Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  in
+  List.fold_left
+    (fun acc (name, m) ->
       match m with
       | C c -> if Atomic.get c.v <> 0 then Counter (name, Atomic.get c.v) :: acc else acc
-      | G g -> if g.g_set then Gauge (name, g.g) :: acc else acc
-      | H h -> if h.len > 0 then Histogram (name, summarise h) :: acc else acc)
-    registry []
+      | G g -> (
+        match Atomic.get g.g with
+        | Some v -> Gauge (name, v) :: acc
+        | None -> acc)
+      | H h ->
+        let a = sorted_values h in
+        if Array.length a > 0 then Histogram (name, summarise_sorted a) :: acc
+        else acc)
+    [] metrics
   |> List.sort (fun a b ->
          let name = function
            | Counter (n, _) | Gauge (n, _) | Histogram (n, _) -> n
          in
          String.compare (name a) (name b))
 
-let reset () = Hashtbl.reset registry
+let reset () = with_lock registry_lock (fun () -> Hashtbl.reset registry)

@@ -1,11 +1,17 @@
-(** Counters, gauges and histograms with a process-wide registry.
+(** Counters, gauges and histograms with a process-wide, domain-safe
+    registry.
 
     Handles are obtained by name; asking twice for the same name
     returns the same metric, so independent modules can contribute to
     one series.  All mutating operations are guarded by
-    {!Trace_ctx.enabled} — with observability off they cost one bool
-    check and allocate nothing.  Counters are backed by [Atomic.t], so
-    increments are exact under re-entrant or multi-domain use. *)
+    {!Trace_ctx.enabled} — with observability off they cost one atomic
+    load and allocate nothing.
+
+    Every operation is safe under concurrent multi-domain use: the
+    registry is mutex-protected, counters are [Atomic.t], gauges are
+    [float option Atomic.t] ([set_max] is a CAS loop, so racing peak
+    publications keep the true maximum), and each histogram carries
+    its own mutex around append/grow and summarisation. *)
 
 type counter
 type gauge

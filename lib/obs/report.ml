@@ -1,4 +1,4 @@
-type json =
+type json = Jsonx.t =
   | Null
   | Bool of bool
   | Int of int
@@ -7,220 +7,8 @@ type json =
   | List of json list
   | Assoc of (string * json) list
 
-(* ------------------------------------------------------------------ *)
-(* serialisation *)
-
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let float_literal f =
-  if Float.is_nan f then "null"
-  else if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.17g" f
-
-let json_to_string j =
-  let b = Buffer.create 256 in
-  let rec go = function
-    | Null -> Buffer.add_string b "null"
-    | Bool v -> Buffer.add_string b (string_of_bool v)
-    | Int i -> Buffer.add_string b (string_of_int i)
-    | Float f -> Buffer.add_string b (float_literal f)
-    | String s ->
-      Buffer.add_char b '"';
-      Buffer.add_string b (escape s);
-      Buffer.add_char b '"'
-    | List l ->
-      Buffer.add_char b '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_char b ',';
-          go x)
-        l;
-      Buffer.add_char b ']'
-    | Assoc kvs ->
-      Buffer.add_char b '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char b ',';
-          go (String k);
-          Buffer.add_char b ':';
-          go v)
-        kvs;
-      Buffer.add_char b '}'
-  in
-  go j;
-  Buffer.contents b
-
-(* ------------------------------------------------------------------ *)
-(* parsing *)
-
-exception Parse of string
-
-let json_of_string s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let skip_ws () =
-    while
-      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-    do
-      advance ()
-    done
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %c" c)
-  in
-  let literal word v =
-    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      v
-    end
-    else fail ("expected " ^ word)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string";
-      match s.[!pos] with
-      | '"' -> advance ()
-      | '\\' ->
-        advance ();
-        if !pos >= n then fail "unterminated escape";
-        let c = s.[!pos] in
-        advance ();
-        (match c with
-         | '"' -> Buffer.add_char b '"'
-         | '\\' -> Buffer.add_char b '\\'
-         | '/' -> Buffer.add_char b '/'
-         | 'n' -> Buffer.add_char b '\n'
-         | 'r' -> Buffer.add_char b '\r'
-         | 't' -> Buffer.add_char b '\t'
-         | 'b' -> Buffer.add_char b '\b'
-         | 'f' -> Buffer.add_char b '\012'
-         | 'u' ->
-           if !pos + 4 > n then fail "short \\u escape";
-           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-           pos := !pos + 4;
-           if code < 0x80 then Buffer.add_char b (Char.chr code)
-           else if code < 0x800 then begin
-             Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
-             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-           end
-           else begin
-             Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
-             Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-           end
-         | _ -> fail "bad escape");
-        go ()
-      | c ->
-        Buffer.add_char b c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while !pos < n && is_num_char s.[!pos] do
-      advance ()
-    done;
-    let tok = String.sub s start (!pos - start) in
-    match int_of_string_opt tok with
-    | Some i -> Int i
-    | None -> (
-      match float_of_string_opt tok with
-      | Some f -> Float f
-      | None -> fail ("bad number " ^ tok))
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '"' -> String (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        List []
-      end
-      else begin
-        let items = ref [ parse_value () ] in
-        skip_ws ();
-        while peek () = Some ',' do
-          advance ();
-          items := parse_value () :: !items;
-          skip_ws ()
-        done;
-        expect ']';
-        List (List.rev !items)
-      end
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Assoc []
-      end
-      else begin
-        let member () =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          (k, v)
-        in
-        let items = ref [ member () ] in
-        skip_ws ();
-        while peek () = Some ',' do
-          advance ();
-          items := member () :: !items;
-          skip_ws ()
-        done;
-        expect '}';
-        Assoc (List.rev !items)
-      end
-    | Some _ -> parse_number ()
-  in
-  match
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-  with
-  | v -> Ok v
-  | exception Parse msg -> Error msg
+let json_to_string = Jsonx.to_string
+let json_of_string = Jsonx.of_string
 
 (* ------------------------------------------------------------------ *)
 (* reports *)
@@ -232,6 +20,14 @@ type t = {
   metrics : Metric.entry list;
   spans : Span.record list;
 }
+
+let sort_metrics =
+  List.sort (fun a b ->
+      let name = function
+        | Metric.Counter (n, _) | Metric.Gauge (n, _) | Metric.Histogram (n, _)
+          -> n
+      in
+      String.compare (name a) (name b))
 
 let collect ~command () =
   let spans = Span.drain () in
@@ -248,15 +44,27 @@ let collect ~command () =
   let spans =
     List.map (fun (s : Span.record) -> { s with Span.start_s = s.Span.start_s -. t0 }) spans
   in
+  (* Surface buffer losses as first-class counters so a truncated
+     report is distinguishable from a quiet run. *)
+  let losses =
+    List.concat
+      [
+        (let d = Span.dropped () in
+         if d > 0 then [ Metric.Counter ("obs.spans_dropped", d) ] else []);
+        (let d = Event.dropped () in
+         if d > 0 then [ Metric.Counter ("obs.events_dropped", d) ] else []);
+      ]
+  in
   {
     command;
-    timestamp = Unix.gettimeofday ();
+    timestamp = Clock.wall ();
     elapsed_s = (if spans = [] then 0. else t1 -. t0);
-    metrics = Metric.snapshot ();
+    metrics = sort_metrics (losses @ Metric.snapshot ());
     spans;
   }
 
-let schema_id = "cpsdim.obs/1"
+let schema_id = "cpsdim.obs/2"
+let schema_id_v1 = "cpsdim.obs/1"
 
 let to_json t =
   let counters, gauges, histograms =
@@ -303,6 +111,9 @@ let to_json t =
                      match s.Span.parent with None -> Null | Some p -> Int p );
                    ("start_s", Float s.Span.start_s);
                    ("dur_s", Float s.Span.dur_s);
+                   ("gc_minor_w", Float s.Span.gc_minor_w);
+                   ("gc_major_w", Float s.Span.gc_major_w);
+                   ("gc_compact", Int s.Span.gc_compact);
                  ])
              t.spans) );
     ]
@@ -327,6 +138,17 @@ let as_int = function Int i -> Ok i | _ -> Error "expected an integer"
 let as_assoc = function Assoc kvs -> Ok kvs | _ -> Error "expected an object"
 let as_list = function List l -> Ok l | _ -> Error "expected an array"
 
+(* v1 spans carry no GC fields; default them to zero on read. *)
+let float_field_default name ~default s =
+  match field name s with
+  | Ok v -> as_float v
+  | Error _ -> Ok default
+
+let int_field_default name ~default s =
+  match field name s with
+  | Ok v -> as_int v
+  | Error _ -> Ok default
+
 let map_result f l =
   List.fold_left
     (fun acc x ->
@@ -339,7 +161,8 @@ let map_result f l =
 let of_json j =
   let* schema = field "schema" j in
   let* schema = as_string schema in
-  if schema <> schema_id then Error ("unknown schema " ^ schema)
+  if schema <> schema_id && schema <> schema_id_v1 then
+    Error ("unknown schema " ^ schema)
   else
     let* command = Result.bind (field "command" j) as_string in
     let* timestamp = Result.bind (field "timestamp" j) as_float in
@@ -388,20 +211,24 @@ let of_json j =
           in
           let* start_s = Result.bind (field "start_s" s) as_float in
           let* dur_s = Result.bind (field "dur_s" s) as_float in
-          Ok { Span.id; name; parent; start_s; dur_s })
+          let* gc_minor_w = float_field_default "gc_minor_w" ~default:0. s in
+          let* gc_major_w = float_field_default "gc_major_w" ~default:0. s in
+          let* gc_compact = int_field_default "gc_compact" ~default:0 s in
+          Ok
+            {
+              Span.id;
+              name;
+              parent;
+              start_s;
+              dur_s;
+              gc_minor_w;
+              gc_major_w;
+              gc_compact;
+            })
         spans
     in
-    let metrics =
-      (* restore the name order [Metric.snapshot] produces *)
-      List.sort
-        (fun a b ->
-          let name = function
-            | Metric.Counter (n, _) | Metric.Gauge (n, _) | Metric.Histogram (n, _)
-              -> n
-          in
-          String.compare (name a) (name b))
-        (counters @ gauges @ histograms)
-    in
+    (* restore the name order [Metric.snapshot] produces *)
+    let metrics = sort_metrics (counters @ gauges @ histograms) in
     Ok { command; timestamp; elapsed_s; metrics; spans }
 
 (* ------------------------------------------------------------------ *)
@@ -422,9 +249,13 @@ let pp ppf t =
       List.sort (fun (a : Span.record) b -> compare a.Span.start_s b.Span.start_s)
     in
     let rec walk depth (s : Span.record) =
-      Format.fprintf ppf "  %s%-*s %8.3f s@," (String.make (2 * depth) ' ')
+      Format.fprintf ppf "  %s%-*s %8.3f s  (minor %.2e w, major %.2e w%s)@,"
+        (String.make (2 * depth) ' ')
         (Int.max 1 (30 - (2 * depth)))
-        s.Span.name s.Span.dur_s;
+        s.Span.name s.Span.dur_s s.Span.gc_minor_w s.Span.gc_major_w
+        (if s.Span.gc_compact > 0 then
+           Printf.sprintf ", %d compactions" s.Span.gc_compact
+         else "");
       List.iter (walk (depth + 1)) (by_start (children s.Span.id))
     in
     List.iter (walk 0) (by_start roots)

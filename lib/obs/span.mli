@@ -3,11 +3,22 @@
     A span measures one phase of a pipeline (a dwell-table
     computation, a model-check call, a whole CLI subcommand); nesting
     is tracked through {!Trace_ctx}, so a span started while another
-    is open becomes its child.  Finished spans accumulate in a
-    process-wide buffer that {!Report.collect} drains.
+    is open becomes its child.  Each span also records the GC work its
+    extent covered (minor/major words allocated, compactions), taken
+    as [Gc.quick_stat] deltas — on a multi-domain run the deltas are
+    those of whichever domain starts/finishes the span.
+
+    Finished spans accumulate in a {e fixed-capacity ring} that
+    {!Report.collect} drains: once full, the oldest record is
+    overwritten and {!dropped} counts the loss, so spans in a hot loop
+    cannot grow memory without bound.  Both the ring and the open-span
+    table are mutex-protected for cross-domain use.
+
+    Durations come from the monotonic clock ({!Clock.now}), never the
+    wall clock, so an NTP step cannot produce a negative [dur_s].
 
     When observability is disabled every function here degenerates to
-    (at most) one bool check: {!start} returns {!none} without
+    (at most) one atomic load: {!start} returns {!none} without
     allocating and {!with_} tail-calls its argument. *)
 
 type t
@@ -17,8 +28,9 @@ type t
 val none : t
 
 val start : string -> t
-(** Open a span named [name] under the currently innermost open span.
-    Returns {!none} when observability is disabled. *)
+(** Open a span named [name] under the currently innermost open span
+    of the calling domain.  Returns {!none} when observability is
+    disabled. *)
 
 val finish : t -> unit
 (** Close the span and record it.  A no-op on {!none}; finishing the
@@ -32,12 +44,26 @@ type record = {
   id : int;
   name : string;
   parent : int option;  (** id of the enclosing span, if any *)
-  start_s : float;  (** absolute, [Unix.gettimeofday] *)
+  start_s : float;  (** monotonic-clock seconds ({!Clock.now}) *)
   dur_s : float;
+  gc_minor_w : float;  (** minor words allocated during the span *)
+  gc_major_w : float;  (** major words allocated during the span *)
+  gc_compact : int;  (** heap compactions during the span *)
 }
 
 val drain : unit -> record list
-(** All finished spans in completion order, clearing the buffer. *)
+(** All buffered finished spans in completion order (oldest first),
+    clearing the ring.  Records that were overwritten before the drain
+    are gone; see {!dropped}. *)
+
+val dropped : unit -> int
+(** Finished spans overwritten because the ring was full, since the
+    last {!reset}/{!set_capacity}. *)
+
+val set_capacity : int -> unit
+(** Replace the ring with an empty one of the given capacity (min 1,
+    default 8192).  Discards buffered spans and zeroes {!dropped}. *)
 
 val reset : unit -> unit
-(** Drop finished and open spans (tests, multi-report harnesses). *)
+(** Drop finished and open spans and zero {!dropped} (tests,
+    multi-report harnesses). *)

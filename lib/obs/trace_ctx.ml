@@ -1,20 +1,19 @@
-(* All three pieces of context are domain-local: pool workers spawned by
-   Par see the switch off by default, so instrumentation on worker
-   domains short-circuits at the [enabled] check and never touches the
-   (unsynchronised) metric registry or span sink.  Under --jobs > 1 the
-   reports therefore cover the main domain's share of the work only. *)
-let on = Domain.DLS.new_key (fun () -> ref false)
-let enabled () = !(Domain.DLS.get on)
-let enable () = Domain.DLS.get on := true
-let disable () = Domain.DLS.get on := false
+(* The master switch and span-id counter are process-global atomics:
+   pool workers spawned by Par see the same switch as the main domain,
+   so instrumentation now covers every domain's share of the work (the
+   metric registry and span sink are domain-safe — see Metric/Span).
+   Only the span *stack* stays domain-local: nesting is a per-domain
+   notion, and a worker opening a span must not reparent spans opened
+   concurrently on the main domain. *)
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let next_id = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
 
 let stack : int list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
-let next_id = Domain.DLS.new_key (fun () -> ref 0)
-
-let fresh_id () =
-  let next_id = Domain.DLS.get next_id in
-  incr next_id;
-  !next_id
 
 let current_parent () =
   match !(Domain.DLS.get stack) with [] -> None | id :: _ -> Some id
@@ -31,4 +30,4 @@ let pop id =
 
 let reset () =
   Domain.DLS.get stack := [];
-  Domain.DLS.get next_id := 0
+  Atomic.set next_id 0

@@ -1,17 +1,18 @@
 (** Observability context: the master switch and the current span
-    nesting.  Both are {e domain-local}: [enable] flips the switch for
-    the calling domain only, so pool workers (which never call it) skip
-    all instrumentation at the {!enabled} check and cannot race on the
-    metric registry.  Under [--jobs > 1], reports consequently cover
-    the main domain's share of the work.
+    nesting.
+
+    The switch and the span-id counter are {e process-global} atomics:
+    [enable] on the main domain turns instrumentation on for pool
+    workers too, so metrics and events cover every domain's share of
+    the work (the registry and sinks are domain-safe).  The span
+    {e stack} remains domain-local — nesting is a per-domain notion,
+    and a worker's spans must not reparent concurrent spans on the
+    main domain.
 
     Every instrumented call site guards itself with a single
-    {!enabled} check; when the switch is off the instrumentation is a
-    bool dereference and nothing else — no allocation, no hashing, no
-    syscalls.  The span stack records which span is currently open so
-    that {!Span.start} can attach new spans to the right parent
-    without the caller threading a context value through every
-    function signature. *)
+    {!enabled} check; when the switch is off the instrumentation is an
+    atomic load and nothing else — no allocation, no hashing, no
+    syscalls. *)
 
 val enabled : unit -> bool
 (** The single check every instrumented path performs first. *)
@@ -20,13 +21,15 @@ val enable : unit -> unit
 val disable : unit -> unit
 
 val fresh_id : unit -> int
-(** Next span id (ids are unique per process run, starting at 1). *)
+(** Next span id (unique per process run across all domains, starting
+    at 1). *)
 
 val current_parent : unit -> int option
-(** Innermost open span, if any. *)
+(** Innermost open span on the calling domain, if any. *)
 
 val push : int -> unit
-(** Open a span: it becomes the parent of subsequent spans. *)
+(** Open a span: it becomes the parent of subsequent spans on this
+    domain. *)
 
 val pop : int -> unit
 (** Close a span.  Tolerates out-of-order finishes (the span is
@@ -35,5 +38,6 @@ val pop : int -> unit
     nesting of unrelated spans. *)
 
 val reset : unit -> unit
-(** Clear the stack and restart ids at 1.  For tests and for harnesses
-    (e.g. the bench snapshot) that take several reports per process. *)
+(** Clear the calling domain's stack and restart ids at 1.  For tests
+    and for harnesses (e.g. the bench snapshot) that take several
+    reports per process. *)

@@ -5,15 +5,19 @@ type 'a state =
 
 type 'a future = { group : int; mutable cell : 'a state }
 
-(* Queue entries erase the result type: [run] computes the task and
+(* Queue entries erase the result type: [e_run] computes the task and
    stores the outcome into its future under the pool lock.  A plain
    list is fine as the queue — submissions arrive in chunk-sized
-   batches (tens of entries), never per-element over large inputs. *)
+   batches (tens of entries), never per-element over large inputs.
+   [e_submitted] (monotonic) is stamped at enqueue so the executing
+   domain can report how long the task sat in the queue. *)
+type entry = { e_group : int; e_submitted : float; e_run : unit -> unit }
+
 type t = {
   m : Mutex.t;
   cv : Condition.t;
       (* signalled on: new work, a future resolving, shutdown *)
-  mutable queue : (int * (unit -> unit)) list;  (* FIFO, head oldest *)
+  mutable queue : entry list;  (* FIFO, head oldest *)
   mutable stop : bool;
   n_jobs : int;
   mutable workers : unit Domain.t list;
@@ -23,20 +27,62 @@ let jobs t = t.n_jobs
 
 let fresh_group = Atomic.make 0
 
+(* Stable small index per domain for metric names: 0 = the main
+   domain, 1..jobs-1 = pool workers.  (Domain.self () :> int) is
+   unique but not dense, which would fragment per-domain series. *)
+let worker_ix_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let worker_ix () = Domain.DLS.get worker_ix_key
+
+(* Execute one queue entry, publishing its lifecycle: queue-wait and
+   run latency as pooled and per-domain histograms, plus one
+   "pool.task" event.  Fully guarded — with both observability
+   switches off this is two atomic loads on top of [e_run]. *)
+let run_entry e =
+  if not (Obs.Trace_ctx.enabled () || Obs.Event.enabled ()) then e.e_run ()
+  else begin
+    let w = worker_ix () in
+    let start = Obs.Clock.now () in
+    let wait_s = start -. e.e_submitted in
+    Fun.protect
+      ~finally:(fun () ->
+        let run_s = Obs.Clock.now () -. start in
+        Obs.Metric.observe_value "pool.queue_wait_s" wait_s;
+        Obs.Metric.observe_value (Printf.sprintf "pool.d%d.queue_wait_s" w) wait_s;
+        Obs.Metric.observe_value "pool.run_s" run_s;
+        Obs.Metric.observe_value (Printf.sprintf "pool.d%d.run_s" w) run_s;
+        Obs.Event.emit "pool.task"
+          [
+            ("worker", Obs.Event.Int w);
+            ("group", Obs.Event.Int e.e_group);
+            ("queue_wait_s", Obs.Event.Float wait_s);
+            ("run_s", Obs.Event.Float run_s);
+          ])
+      e.e_run
+  end
+
 let worker t =
   Mutex.lock t.m;
   let rec loop () =
     if t.stop then Mutex.unlock t.m
     else
       match t.queue with
-      | (_, run) :: rest ->
+      | e :: rest ->
         t.queue <- rest;
         Mutex.unlock t.m;
-        run ();
+        run_entry e;
         Mutex.lock t.m;
         loop ()
       | [] ->
+        (* time spent parked on the condvar = this worker's idle time *)
+        let w0 = Obs.Clock.now () in
         Condition.wait t.cv t.m;
+        if Obs.Trace_ctx.enabled () then begin
+          let idle_s = Obs.Clock.now () -. w0 in
+          Obs.Metric.observe_value "pool.idle_s" idle_s;
+          Obs.Metric.observe_value
+            (Printf.sprintf "pool.d%d.idle_s" (worker_ix ()))
+            idle_s
+        end;
         loop ()
   in
   loop ()
@@ -53,7 +99,11 @@ let create ~jobs =
       workers = [];
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set worker_ix_key (i + 1);
+            worker t));
   t
 
 let shutdown t =
@@ -75,8 +125,9 @@ let submit_group t group f =
     Condition.broadcast t.cv;
     Mutex.unlock t.m
   in
+  let e = { e_group = group; e_submitted = Obs.Clock.now (); e_run = run } in
   Mutex.lock t.m;
-  t.queue <- t.queue @ [ (group, run) ];
+  t.queue <- t.queue @ [ e ];
   Condition.broadcast t.cv;
   Mutex.unlock t.m;
   fut
@@ -87,10 +138,10 @@ let submit t f = submit_group t (Atomic.fetch_and_add fresh_group 1) f
 let pick_group t group =
   let rec pick acc = function
     | [] -> None
-    | ((g, run) as entry) :: rest ->
-      if g = group then begin
+    | entry :: rest ->
+      if entry.e_group = group then begin
         t.queue <- List.rev_append acc rest;
-        Some run
+        Some entry
       end
       else pick (entry :: acc) rest
   in
@@ -113,9 +164,9 @@ let await t fut =
          ourselves, or already running on some domain that will
          broadcast on completion) *)
       match pick_group t fut.group with
-      | Some run ->
+      | Some entry ->
         Mutex.unlock t.m;
-        run ();
+        run_entry entry;
         Mutex.lock t.m;
         wait ()
       | None ->
@@ -136,6 +187,7 @@ let map_array t f a =
       List.init chunks (fun c ->
           let lo = c * size in
           let hi = Int.min n (lo + size) in
+          Obs.Metric.observe_value "pool.batch_size" (float_of_int (hi - lo));
           submit_group t group (fun () ->
               (* explicit loop: evaluate strictly in index order so the
                  exception surfaced for a failing chunk is the one of

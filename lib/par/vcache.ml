@@ -5,6 +5,7 @@ type 'a backing = {
 
 type 'a t = {
   m : Mutex.t;
+  label : string;
   tbl : (string, 'a) Hashtbl.t;
   backing : 'a backing option;
   mutable hits : int;
@@ -12,9 +13,10 @@ type 'a t = {
   mutable misses : int;
 }
 
-let create ?backing () =
+let create ?(label = "cache") ?backing () =
   {
     m = Mutex.create ();
+    label;
     tbl = Hashtbl.create 64;
     backing;
     hits = 0;
@@ -22,12 +24,29 @@ let create ?backing () =
     misses = 0;
   }
 
+(* Verdict provenance: count per-source and, when the event stream is
+   on, emit one "cache.provenance" record carrying the (truncated)
+   key digest and how long the answer took to materialise. *)
+let provenance c ~source ~key ~dur_s =
+  if Obs.Trace_ctx.enabled () || Obs.Event.enabled () then begin
+    Obs.Metric.count (Printf.sprintf "cache.%s.%s" c.label source) 1;
+    Obs.Event.emit "cache.provenance"
+      [
+        ("cache", Obs.Event.Str c.label);
+        ("source", Obs.Event.Str source);
+        ("key", Obs.Event.Str (String.sub (Digest.to_hex (Digest.string key)) 0 12));
+        ("dur_s", Obs.Event.Float dur_s);
+      ]
+  end
+
 let find_or_add' c key compute =
+  let t0 = Obs.Clock.now () in
   Mutex.lock c.m;
   match Hashtbl.find_opt c.tbl key with
   | Some v ->
     c.hits <- c.hits + 1;
     Mutex.unlock c.m;
+    provenance c ~source:"mem" ~key ~dur_s:(Obs.Clock.now () -. t0);
     (v, `Mem)
   | None -> (
     match
@@ -38,6 +57,7 @@ let find_or_add' c key compute =
       c.disk_hits <- c.disk_hits + 1;
       Hashtbl.add c.tbl key v;
       Mutex.unlock c.m;
+      provenance c ~source:"disk" ~key ~dur_s:(Obs.Clock.now () -. t0);
       (v, `Disk)
     | None ->
       c.misses <- c.misses + 1;
@@ -53,6 +73,7 @@ let find_or_add' c key compute =
         match c.backing with Some b -> b.save key v | None -> ()
       end;
       Mutex.unlock c.m;
+      provenance c ~source:"engine" ~key ~dur_s:(Obs.Clock.now () -. t0);
       (v, `Miss))
 
 let find_or_add c key compute = fst (find_or_add' c key compute)

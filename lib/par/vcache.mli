@@ -12,7 +12,13 @@
     persistent, tier consulted on memory misses and fed on inserts.
     The backing decides its own policy (serialisation, which values are
     worth persisting); the cache only promises to call [load] before
-    computing and [save] after a fresh computation. *)
+    computing and [save] after a fresh computation.
+
+    When observability is on, every lookup publishes its provenance:
+    the counters [cache.<label>.mem] / [.disk] / [.engine] record
+    where each answer came from, and — with the event stream enabled —
+    a ["cache.provenance"] event carries the source, a truncated key
+    digest, and how long the answer took to materialise. *)
 
 type 'a t
 
@@ -25,7 +31,9 @@ type 'a backing = {
           may ignore values it does not want to persist *)
 }
 
-val create : ?backing:'a backing -> unit -> 'a t
+val create : ?label:string -> ?backing:'a backing -> unit -> 'a t
+(** [label] (default ["cache"]) names this cache's provenance metrics:
+    [cache.<label>.mem] / [.disk] / [.engine]. *)
 
 val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
 (** [find_or_add c key compute] returns the cached value for [key],

@@ -157,8 +157,8 @@ module Make (S : STATE_SPACE) = struct
   let run ?(order = Bfs) ?pool ?(exact = true) ?coverage ?max_states
       ?(max_states_check = `Insert) ?deadline ?(deadline_mask = 255)
       ?(target_check = `Insert) ?on_edge ?on_insert ?(initial_peak = 0)
-      ?metrics_prefix initial =
-    let t0 = Unix.gettimeofday () in
+      ?metrics_prefix ?(heartbeat = 1024) initial =
+    let t0 = Obs.Clock.now () in
     (* dense state store: insertion order assigns ids, the parent table
        and the frontier hold ids, never whole structural states *)
     let store = ref (Array.make 1024 initial) in
@@ -260,10 +260,32 @@ module Make (S : STATE_SPACE) = struct
     let found = ref (-1) in
     let exhausted = ref None in
     let pops = ref 0 in
+    let engine = match metrics_prefix with Some p -> p | None -> "search" in
+    (* A heartbeat fires every [heartbeat] pops.  Its counter fields
+       replay the sequential pop sequence (see the determinism note in
+       the mli), so the event multiset is identical at any pool size
+       once the timing fields are masked. *)
+    let heartbeat_tick () =
+      if !pops mod heartbeat = 0 && Obs.Event.enabled () then begin
+        let dt = Obs.Clock.now () -. t0 in
+        Obs.Event.emit "search.heartbeat"
+          [
+            ("engine", Obs.Event.Str engine);
+            ("states", Obs.Event.Int !states);
+            ("transitions", Obs.Event.Int !transitions);
+            ("frontier", Obs.Event.Int !qlen);
+            ("dedup_hits", Obs.Event.Int !dedup_hits);
+            ("cover_hits", Obs.Event.Int !cover_hits);
+            ( "states_per_sec",
+              Obs.Event.Float
+                (if dt > 0. then float_of_int !states /. dt else 0.) );
+          ]
+      end
+    in
     let deadline_hit () =
       match deadline with
       | Some d
-        when !pops land deadline_mask = 0 && Unix.gettimeofday () -. t0 > d ->
+        when !pops land deadline_mask = 0 && Obs.Clock.now () -. t0 > d ->
         exhausted := Some (Deadline d);
         true
       | _ -> false
@@ -317,6 +339,7 @@ module Make (S : STATE_SPACE) = struct
        if not batched then
          while (not (fempty ())) && !found < 0 do
            incr pops;
+           heartbeat_tick ();
            if pop_budget () then raise_notrace Exit;
            let id = fpop () in
            decr qlen;
@@ -337,6 +360,7 @@ module Make (S : STATE_SPACE) = struct
            Array.iteri
              (fun i succs ->
                incr pops;
+               heartbeat_tick ();
                if pop_budget () then raise_notrace Exit;
                decr qlen;
                List.iter (process batch.(i)) succs)
@@ -344,7 +368,7 @@ module Make (S : STATE_SPACE) = struct
          done
        end
      with Exit -> ());
-    let elapsed = Unix.gettimeofday () -. t0 in
+    let elapsed = Obs.Clock.now () -. t0 in
     (match metrics_prefix with
      | Some p when Obs.Trace_ctx.enabled () ->
        Obs.Metric.count (p ^ ".states") !states;
@@ -369,6 +393,24 @@ module Make (S : STATE_SPACE) = struct
       if !found >= 0 then Found (state_of !found)
       else match !exhausted with Some r -> Exhausted r | None -> Completed
     in
+    (* Always emitted (not pop-gated) so even a tiny run leaves at
+       least one event in the stream. *)
+    Obs.Event.emit "search.done"
+      [
+        ("engine", Obs.Event.Str engine);
+        ( "outcome",
+          Obs.Event.Str
+            (match outcome with
+             | Found _ -> "found"
+             | Completed -> "completed"
+             | Exhausted (Max_states _) -> "max_states"
+             | Exhausted (Deadline _) -> "deadline") );
+        ("states", Obs.Event.Int !states);
+        ("transitions", Obs.Event.Int !transitions);
+        ("dedup_hits", Obs.Event.Int !dedup_hits);
+        ("cover_hits", Obs.Event.Int !cover_hits);
+        ("elapsed_s", Obs.Event.Float elapsed);
+      ];
     {
       outcome;
       stats =

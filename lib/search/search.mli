@@ -105,6 +105,7 @@ module Make (S : STATE_SPACE) : sig
     ?on_insert:(S.state -> unit) ->
     ?initial_peak:int ->
     ?metrics_prefix:string ->
+    ?heartbeat:int ->
     S.state ->
     result
   (** Explore from the initial state until a target is found, the
@@ -135,5 +136,14 @@ module Make (S : STATE_SPACE) : sig
       state.  [metrics_prefix] emits [<p>.states], [<p>.transitions],
       [<p>.waiting_peak] and [<p>.states_per_sec] through {!Obs} when
       tracing is enabled — the shared metric names live here, clients
-      add only their engine-specific counters. *)
+      add only their engine-specific counters.
+
+      With the {!Obs.Event} stream enabled, the run emits a
+      ["search.heartbeat"] event every [heartbeat] pops (default 1024)
+      carrying live progress — states, transitions, frontier depth,
+      dedup/coverage hit counts and the running states-per-second —
+      and one ["search.done"] event with the outcome.  The counter
+      fields replay the sequential pop sequence, so at any pool size
+      the event multiset is identical once timing fields are
+      masked. *)
 end

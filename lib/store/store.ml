@@ -167,7 +167,11 @@ let locked t f =
 let path t = t.path
 let salt t = t.salt
 
-let find t key = locked t (fun () -> Hashtbl.find_opt t.tbl key)
+let find t key =
+  let t0 = Obs.Clock.now () in
+  let r = locked t (fun () -> Hashtbl.find_opt t.tbl key) in
+  Obs.Metric.observe_value "store.find_s" (Obs.Clock.now () -. t0);
+  r
 let mem t key = locked t (fun () -> Hashtbl.mem t.tbl key)
 let length t = locked t (fun () -> Hashtbl.length t.tbl)
 
@@ -180,6 +184,7 @@ let out_channel t =
     oc
 
 let add t key value =
+  let t0 = Obs.Clock.now () in
   locked t (fun () ->
       if not (t.closed || Hashtbl.mem t.tbl key) then begin
         Hashtbl.add t.tbl key value;
@@ -191,7 +196,8 @@ let add t key value =
            Out_channel.flush oc;
            t.appended <- t.appended + 1
          with Sys_error _ -> ())
-      end)
+      end);
+  Obs.Metric.observe_value "store.append_s" (Obs.Clock.now () -. t0)
 
 let stats t =
   locked t (fun () ->

@@ -234,6 +234,253 @@ let test_engine_metrics () =
     && List.exists (fun (s : Obs.Span.record) -> s.Obs.Span.name = "ta.reach")
          report.Obs.Report.spans)
 
+(* ------------------------------------------------------------------ *)
+(* multi-domain safety: every op from every domain must land exactly *)
+
+let test_metric_hammer () =
+  fresh ();
+  Obs.Trace_ctx.enable ();
+  let per_domain = 10_000 and domains = 4 in
+  let worker d () =
+    let c = Obs.Metric.counter "t.hammer.count" in
+    let g = Obs.Metric.gauge "t.hammer.peak" in
+    let h = Obs.Metric.histogram "t.hammer.lat" in
+    for i = 1 to per_domain do
+      Obs.Metric.incr c;
+      Obs.Metric.observe h (float_of_int i);
+      Obs.Metric.set_max g (float_of_int ((d * per_domain) + i))
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  check_int "every increment landed" (domains * per_domain)
+    (Obs.Metric.value (Obs.Metric.counter "t.hammer.count"));
+  check_bool "racing set_max keeps the exact peak" true
+    (Obs.Metric.gauge_value (Obs.Metric.gauge "t.hammer.peak")
+    = Some (float_of_int (domains * per_domain)));
+  match
+    List.find_map
+      (function
+        | Obs.Metric.Histogram ("t.hammer.lat", s) -> Some s
+        | _ -> None)
+      (Obs.Metric.snapshot ())
+  with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some s ->
+    check_int "every observation landed" (domains * per_domain) s.Obs.Metric.n;
+    check_bool "max sample intact" true
+      (s.Obs.Metric.max = float_of_int per_domain)
+
+(* ------------------------------------------------------------------ *)
+(* bounded buffers: span ring overwrites oldest, event queue drops
+   newest — both count what they lost *)
+
+let test_span_ring_bound () =
+  fresh ();
+  Obs.Trace_ctx.enable ();
+  Obs.Span.set_capacity 100;
+  Fun.protect
+    ~finally:(fun () -> Obs.Span.set_capacity 8192)
+    (fun () ->
+      for i = 0 to 149 do
+        Obs.Span.with_ (Printf.sprintf "s%03d" i) (fun () -> ())
+      done;
+      check_int "overwrites counted" 50 (Obs.Span.dropped ());
+      let spans = Obs.Span.drain () in
+      check_int "ring holds exactly its capacity" 100 (List.length spans);
+      match spans with
+      | first :: _ ->
+        Alcotest.(check string) "oldest survivor is s050" "s050"
+          first.Obs.Span.name
+      | [] -> Alcotest.fail "empty drain")
+
+let test_event_queue_bound () =
+  fresh ();
+  Obs.Event.reset ();
+  Obs.Event.emit "t.off" [ ("i", Obs.Event.Int 0) ];
+  check_bool "disabled stream stays empty" true (Obs.Event.drain () = []);
+  Obs.Event.set_capacity 4;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Event.reset ();
+      Obs.Event.set_capacity 65536)
+    (fun () ->
+      Obs.Event.enable ();
+      for i = 0 to 5 do
+        Obs.Event.emit "t.ev" [ ("i", Obs.Event.Int i) ]
+      done;
+      check_int "newest two dropped" 2 (Obs.Event.dropped ());
+      let evs = Obs.Event.drain () in
+      check_int "queue bounded" 4 (List.length evs);
+      List.iteri
+        (fun i (e : Obs.Event.t) ->
+          check_bool "run prefix kept in order" true
+            (e.Obs.Event.fields = [ ("i", Obs.Event.Int i) ]);
+          check_bool "timestamp is non-negative" true (e.Obs.Event.ts_s >= 0.))
+        evs;
+      (* the JSONL record parses back and leads with the event name *)
+      match
+        Obs.Report.json_of_string
+          (Obs.Report.json_to_string (Obs.Event.to_json (List.hd evs)))
+      with
+      | Ok (Obs.Report.Assoc (("ev", Obs.Report.String "t.ev") :: _)) -> ()
+      | Ok _ -> Alcotest.fail "event record shape changed"
+      | Error m -> Alcotest.fail m)
+
+(* ------------------------------------------------------------------ *)
+(* percentile edge cases: nearest-rank at tiny n *)
+
+let test_percentile_edges () =
+  fresh ();
+  Obs.Trace_ctx.enable ();
+  let h1 = Obs.Metric.histogram "t.one" in
+  Obs.Metric.observe h1 7.;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "n=1 q=%.2f" q)
+        7. (Obs.Metric.percentile h1 q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  let h2 = Obs.Metric.histogram "t.two" in
+  Obs.Metric.observe h2 4.;
+  Obs.Metric.observe h2 1.;
+  Alcotest.(check (float 0.0)) "n=2 p0" 1. (Obs.Metric.percentile h2 0.0);
+  Alcotest.(check (float 0.0)) "n=2 p50 takes the lower rank" 1.
+    (Obs.Metric.percentile h2 0.5);
+  Alcotest.(check (float 0.0)) "n=2 p90" 4. (Obs.Metric.percentile h2 0.9)
+
+(* ------------------------------------------------------------------ *)
+(* hostile metric and command names survive the JSON cycle *)
+
+let test_metric_name_escaping () =
+  fresh ();
+  Obs.Trace_ctx.enable ();
+  let name = "t.weird \"quoted\"\\back\nnew\tline\x01ctl" in
+  Obs.Metric.count name 3;
+  Obs.Metric.set_gauge (name ^ ".g") 1.5;
+  let report = Obs.Report.collect ~command:"esc \"cmd\"\n" () in
+  match
+    Result.bind
+      (Obs.Report.json_of_string
+         (Obs.Report.json_to_string (Obs.Report.to_json report)))
+      Obs.Report.of_json
+  with
+  | Error m -> Alcotest.fail ("escaping round-trip failed: " ^ m)
+  | Ok r ->
+    check_bool "metrics survive hostile names" true
+      (r.Obs.Report.metrics = report.Obs.Report.metrics);
+    Alcotest.(check string) "command survives" report.Obs.Report.command
+      r.Obs.Report.command
+
+(* ------------------------------------------------------------------ *)
+(* the monotonic clock and the GC deltas behind every span *)
+
+let test_monotonic_durations () =
+  let a = Obs.Clock.now () in
+  let b = Obs.Clock.now () in
+  check_bool "clock never steps backwards" true (b >= a);
+  fresh ();
+  Obs.Trace_ctx.enable ();
+  Obs.Span.with_ "tick" (fun () ->
+      ignore (Sys.opaque_identity (List.init 10_000 (fun i -> float_of_int i)));
+      (* flush the allocation counters: quick_stat only advances them
+         at collection boundaries *)
+      Gc.minor ());
+  match Obs.Span.drain () with
+  | [ s ] ->
+    check_bool "duration non-negative" true (s.Obs.Span.dur_s >= 0.);
+    check_bool "allocation visible in the span" true (s.Obs.Span.gc_minor_w > 0.)
+  | _ -> Alcotest.fail "expected exactly one span"
+
+(* ------------------------------------------------------------------ *)
+(* report diff goldens: classification, gating, boundary behaviour *)
+
+let mk_report metrics =
+  {
+    Obs.Report.command = "golden";
+    timestamp = 0.;
+    elapsed_s = 1.0;
+    metrics;
+    spans = [];
+  }
+
+let diff_status ?gate ?timing_gate changes key =
+  match List.find_opt (fun (c : Obs.Diff.change) -> c.Obs.Diff.key = key) changes with
+  | None -> Alcotest.fail ("no change entry for " ^ key)
+  | Some c -> Obs.Diff.status_of ?gate ?timing_gate c
+
+let test_diff_goldens () =
+  let old_r =
+    mk_report
+      [
+        Obs.Metric.Counter ("cache.hits", 10);
+        Obs.Metric.Counter ("engine.states", 1024);
+        Obs.Metric.Gauge ("engine.states_per_sec", 100.);
+        Obs.Metric.Counter ("gone.key", 5);
+      ]
+  in
+  let new_r =
+    mk_report
+      [
+        Obs.Metric.Counter ("cache.hits", 4);
+        Obs.Metric.Counter ("engine.states", 1056);
+        Obs.Metric.Gauge ("engine.states_per_sec", 240.);
+        Obs.Metric.Counter ("fresh.key", 1);
+      ]
+  in
+  let changes = Obs.Diff.compare_reports ~old_report:old_r ~new_report:new_r in
+  let st = diff_status ~gate:3.125 ~timing_gate:10. changes in
+  (* improvement on a higher-better timing key passes *)
+  check_bool "per_sec gain passes" true
+    (st "engine.states_per_sec" = Obs.Diff.Pass);
+  (* a hit-rate collapse on a gated deterministic key fails *)
+  check_bool "hit collapse regresses" true
+    (st "cache.hits" = Obs.Diff.Regression);
+  (* +3.125% against a 3.125% gate sits exactly on the boundary: in *)
+  check_bool "boundary delta passes" true
+    (st "engine.states" = Obs.Diff.Pass);
+  check_bool "vanished gated key fails" true (st "gone.key" = Obs.Diff.Missing);
+  check_bool "new key is informational" true (st "fresh.key" = Obs.Diff.Added);
+  (* ungated classes never fail: timing regression needs timing_gate,
+     a vanished deterministic key needs gate *)
+  let shrunk =
+    mk_report [ Obs.Metric.Gauge ("engine.states_per_sec", 50.) ]
+  in
+  let ch2 = Obs.Diff.compare_reports ~old_report:old_r ~new_report:shrunk in
+  check_bool "timing drop fails only when timing-gated" true
+    (diff_status ~timing_gate:10. ch2 "engine.states_per_sec"
+     = Obs.Diff.Regression
+    && diff_status ~gate:3. ch2 "engine.states_per_sec" = Obs.Diff.Pass);
+  check_bool "missing det key passes ungated" true
+    (diff_status ~timing_gate:10. ch2 "gone.key" = Obs.Diff.Pass);
+  (* the regression list is exactly the failing subset *)
+  let failing =
+    List.map
+      (fun (c : Obs.Diff.change) -> c.Obs.Diff.key)
+      (Obs.Diff.regressions ~gate:3.125 ~timing_gate:10. changes)
+  in
+  check_bool "regressions = {cache.hits, gone.key}" true
+    (List.sort compare failing = [ "cache.hits"; "gone.key" ])
+
+let test_diff_classification () =
+  let c k = Obs.Diff.classify k in
+  check_bool "histogram percentile of a duration is timing" true
+    (c "pool.run_s.p90" = (Obs.Diff.Timing, Obs.Diff.Lower_better));
+  check_bool "sample count of a timing histogram is deterministic" true
+    (c "pool.run_s.n" = (Obs.Diff.Deterministic, Obs.Diff.Neutral));
+  check_bool "throughput is timing, higher-better" true
+    (c "bench.search.dverify_s2.states_per_sec"
+    = (Obs.Diff.Timing, Obs.Diff.Higher_better));
+  check_bool "state count is deterministic" true
+    (c "bench.search.dverify_s2.states"
+    = (Obs.Diff.Deterministic, Obs.Diff.Neutral));
+  check_bool "provenance counter is deterministic" true
+    (c "cache.verdict.engine" = (Obs.Diff.Deterministic, Obs.Diff.Neutral));
+  check_bool "drop counters are lower-better" true
+    (c "obs.events_dropped" = (Obs.Diff.Deterministic, Obs.Diff.Lower_better));
+  check_bool "elapsed is timing" true
+    (c "elapsed_s" = (Obs.Diff.Timing, Obs.Diff.Lower_better))
+
 let () =
   Alcotest.run "obs"
     [
@@ -245,8 +492,24 @@ let () =
       ( "metric",
         [
           Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges;
           Alcotest.test_case "counter re-entrancy" `Quick test_counter_reentrancy;
           Alcotest.test_case "gauge max" `Quick test_gauge_max;
+          Alcotest.test_case "multi-domain hammer" `Quick test_metric_hammer;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "span ring overwrites oldest" `Quick
+            test_span_ring_bound;
+          Alcotest.test_case "event queue drops newest" `Quick
+            test_event_queue_bound;
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic durations" `Quick test_monotonic_durations ] );
+      ( "diff",
+        [
+          Alcotest.test_case "goldens" `Quick test_diff_goldens;
+          Alcotest.test_case "classification" `Quick test_diff_classification;
         ] );
       ( "disabled",
         [ Alcotest.test_case "no-op everywhere" `Quick test_disabled_noop ] );
@@ -254,6 +517,8 @@ let () =
         [
           Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "json parser" `Quick test_json_parser;
+          Alcotest.test_case "hostile name escaping" `Quick
+            test_metric_name_escaping;
         ] );
       ( "integration",
         [ Alcotest.test_case "engine metrics" `Quick test_engine_metrics ] );
