@@ -918,6 +918,84 @@ let search_snapshot () =
       gauge "bench.search.reach_c1c5" rp.Core.Ta_model.stats.Ta.Reach.states
         rp.Core.Ta_model.stats.Ta.Reach.elapsed;
       Obs.Metric.set_gauge "bench.search.order_independent" 1.;
+      (* -------------------------------------------------------------- *)
+      (* X15 sub-section: the analytic pre-filter and the symmetry
+         quotient on a homogeneous fleet.  Both wins ride this snapshot
+         so the CI deterministic gate pins them: the quotient state
+         counts are exact anchors, the >= 5x ratios are the headline
+         numbers of the PR, and a regression in either fails the same
+         `report diff` leg as the engine throughput keys. *)
+      section "X15"
+        "Pre-filter + symmetry quotient — homogeneous-fleet wins \
+         (gated in BENCH_search.json)";
+      (* four identical apps: deterministic dwell (2 samples), worst
+         interference 3 x 2 = 6 = T*_w, so exactly Safe at the
+         boundary — the hardest shape for the quotient to preserve *)
+      let homog =
+        Array.init 4 (fun id ->
+            Sched.Appspec.make ~id
+              ~name:(Printf.sprintf "H%d" (id + 1))
+              ~t_w_max:6 ~t_dw_min:(Array.make 7 2)
+              ~t_dw_max:(Array.make 7 2) ~r:9)
+      in
+      let exact = Core.Dverify.verify homog in
+      let quot = Core.Dverify.verify ~symmetry:true homog in
+      let verdict_tag (r : Core.Dverify.result) =
+        match r.Core.Dverify.verdict with
+        | Core.Dverify.Safe -> "safe"
+        | Core.Dverify.Unsafe _ -> "unsafe"
+        | Core.Dverify.Undetermined _ -> "undec"
+      in
+      if verdict_tag exact <> verdict_tag quot then
+        failwith "x15: symmetry quotient changed the verdict";
+      if
+        exact.Core.Dverify.stats.Core.Dverify.max_wait
+        <> quot.Core.Dverify.stats.Core.Dverify.max_wait
+      then failwith "x15: symmetry quotient changed the dwell table input";
+      gauge "bench.x15.homog4_exact" exact.Core.Dverify.stats.Core.Dverify.states
+        exact.Core.Dverify.stats.Core.Dverify.elapsed;
+      gauge "bench.x15.homog4_quotient"
+        quot.Core.Dverify.stats.Core.Dverify.states
+        quot.Core.Dverify.stats.Core.Dverify.elapsed;
+      let state_ratio =
+        float_of_int exact.Core.Dverify.stats.Core.Dverify.states
+        /. float_of_int (max 1 quot.Core.Dverify.stats.Core.Dverify.states)
+      in
+      Obs.Metric.set_gauge "bench.x15.state_ratio" state_ratio;
+      Printf.printf "  %-34s %13.1fx fewer states explored\n"
+        "bench.x15.state_ratio" state_ratio;
+      if state_ratio < 5. then
+        failwith
+          (Printf.sprintf "x15: quotient win %.1fx below the 5x floor"
+             state_ratio);
+      (* mapping screen: six clones of C1 (identical timing, so every
+         probed group is homogeneous) mapped with and without the
+         analytic screen.  Engine runs avoided = screened probes; the
+         packing and the verification count must not move. *)
+      let c1 = find_app "C1" in
+      let clones =
+        List.init 6 (fun i ->
+            { c1 with Core.App.name = Printf.sprintf "H%d" (i + 1) })
+      in
+      let screened_counter = Obs.Metric.counter "mapping.screened" in
+      let before = Obs.Metric.value screened_counter in
+      let on = Core.Mapping.first_fit clones in
+      let screened = Obs.Metric.value screened_counter - before in
+      let off = Core.Mapping.first_fit ~prefilter:false ~symmetry:false clones in
+      let render o = Format.asprintf "%a" Core.Mapping.pp o in
+      if render on <> render off then
+        failwith "x15: analytic screen changed the packing";
+      let runs_off = off.Core.Mapping.verifications in
+      let runs_on = runs_off - screened in
+      let run_ratio = float_of_int runs_off /. float_of_int (max 1 runs_on) in
+      Obs.Metric.set_gauge "bench.x15.mapping_engine_runs_off"
+        (float_of_int runs_off);
+      Obs.Metric.set_gauge "bench.x15.mapping_engine_runs_on"
+        (float_of_int runs_on);
+      Obs.Metric.set_gauge "bench.x15.engine_run_ratio" run_ratio;
+      Printf.printf
+        "  %-34s %5d engine runs -> %d (%0.1fx avoided by the screen)\n"
+        "bench.x15.engine_run_ratio" runs_off runs_on run_ratio;
       ignore (write_snapshot ~file:"BENCH_search.json" ~command:"bench-search"))
 
 (* ------------------------------------------------------------------ *)

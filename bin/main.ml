@@ -79,7 +79,8 @@ let apply_jobs jobs =
   if jobs > 0 then Par.Pool.set_default_jobs jobs
 
 (* exit codes: 0 = safe, 2 = unsafe, 3 = undetermined (budget ran out) *)
-let verify_cmd_run engine order bound deadline jobs cache names =
+let verify_cmd_run engine order bound deadline jobs cache prefilter symmetry
+    names =
   apply_jobs jobs;
   with_pcache cache @@ fun pcache ->
   match parse_apps ?pcache names with
@@ -105,7 +106,9 @@ let verify_cmd_run engine order bound deadline jobs cache names =
     (match engine with
      | `Discrete | `Bfs ->
        let mode = if engine = `Bfs then `Bfs else `Subsumption in
-       let r = Core.Dverify.verify ~order ~mode ?deadline specs in
+       let r =
+         Core.Dverify.verify ~order ~mode ~prefilter ~symmetry ?deadline specs
+       in
        (match r.Core.Dverify.verdict with
         | Core.Dverify.Safe -> record `Safe
         | Core.Dverify.Unsafe _ -> record `Unsafe
@@ -117,7 +120,10 @@ let verify_cmd_run engine order bound deadline jobs cache names =
          r.Core.Dverify.stats.Core.Dverify.elapsed;
        discrete_exit r
      | `Bounded ->
-       let r = Core.Dverify.verify_bounded ~order ?deadline ~instances:bound specs in
+       let r =
+         Core.Dverify.verify_bounded ~order ~symmetry ?deadline
+           ~instances:bound specs
+       in
        (match r.Core.Dverify.verdict with
         | Core.Dverify.Unsafe _ -> record `Unsafe
         | Core.Dverify.Safe | Core.Dverify.Undetermined _ -> ());
@@ -149,7 +155,9 @@ let verify_cmd_run engine order bound deadline jobs cache names =
 (* ------------------------------------------------------------------ *)
 (* map *)
 
-let map_cmd_run with_baseline optimal order jobs cache =
+let map_cmd_run with_baseline optimal order jobs cache no_prefilter
+    no_symmetry =
+  let prefilter = not no_prefilter and symmetry = not no_symmetry in
   apply_jobs jobs;
   with_pcache cache @@ fun pcache ->
   let dcache = Option.map Core.Pcache.dwell_cache pcache in
@@ -161,8 +169,8 @@ let map_cmd_run with_baseline optimal order jobs cache =
   in
   let cache = mapping_cache_of pcache in
   let outcome =
-    if optimal then Core.Mapping.optimal ~cache ~order apps
-    else Core.Mapping.first_fit ~cache ~order apps
+    if optimal then Core.Mapping.optimal ~cache ~order ~prefilter ~symmetry apps
+    else Core.Mapping.first_fit ~cache ~order ~prefilter ~symmetry apps
   in
   Format.printf "%a@." Core.Mapping.pp outcome;
   if with_baseline then begin
@@ -402,11 +410,14 @@ let design_cmd_run name j_star require_cqlf =
 (* ------------------------------------------------------------------ *)
 (* fleet *)
 
-let fleet_cmd_run count seed =
+let fleet_cmd_run count seed no_prefilter no_symmetry =
   let params = { Core.Fleet.default_params with count; seed } in
   let apps = Core.Fleet.generate ~params () in
   List.iter (fun a -> print_endline (Core.Fleet.describe a)) apps;
-  let outcome = Core.Mapping.first_fit apps in
+  let outcome =
+    Core.Mapping.first_fit ~prefilter:(not no_prefilter)
+      ~symmetry:(not no_symmetry) apps
+  in
   Format.printf "%a@." Core.Mapping.pp outcome;
   0
 
@@ -696,14 +707,58 @@ let jobs_arg =
            $(b,CPSDIM_JOBS) or 1).  Results are byte-identical at any \
            $(docv).")
 
+(* opt-in on verify (screened stats would differ from the engine's, and
+   the engine run is exactly what the command is for); opt-out on the
+   mappers, where only the verdict matters and both shortcuts are
+   verdict-preserving *)
+let prefilter_arg =
+  Arg.(
+    value & flag
+    & info [ "prefilter" ]
+        ~doc:
+          "Consult the two-sided analytic screen first; groups it decides \
+           skip the engine (states/transitions read 0 for them).  Verdicts \
+           are unchanged.")
+
+let symmetry_arg =
+  Arg.(
+    value & flag
+    & info [ "symmetry" ]
+        ~doc:
+          "Quotient the search space by permutations of identical-parameter \
+           applications.  Verdicts, max-wait tables and counterexamples are \
+           unchanged; Safe-side state counts shrink.")
+
+let no_prefilter_arg =
+  Arg.(
+    value & flag
+    & info [ "no-prefilter" ]
+        ~doc:
+          "Disable the analytic pre-screen and send every candidate group to \
+           the exact engine.  The packing and all reported counts are \
+           identical either way; this is an escape hatch for differential \
+           testing.")
+
+let no_symmetry_arg =
+  Arg.(
+    value & flag
+    & info [ "no-symmetry" ]
+        ~doc:
+          "Disable symmetry quotienting in the group verifier.  \
+           Verdict-preserving either way; escape hatch for differential \
+           testing.")
+
 let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Model-check a slot group")
     (with_obs "verify"
        Term.(
-         const (fun engine order bound deadline jobs cache names () ->
-             verify_cmd_run engine order bound deadline jobs cache names)
+         const
+           (fun engine order bound deadline jobs cache prefilter symmetry names
+                () ->
+             verify_cmd_run engine order bound deadline jobs cache prefilter
+               symmetry names)
          $ engine_arg $ order_arg $ bound_arg $ deadline_arg $ jobs_arg
-         $ cache_arg $ names_arg))
+         $ cache_arg $ prefilter_arg $ symmetry_arg $ names_arg))
 
 let baseline_arg =
   Arg.(value & flag & info [ "b"; "baseline" ] ~doc:"Also run the DATE'12 baseline packing.")
@@ -715,9 +770,12 @@ let map_cmd =
   Cmd.v (Cmd.info "map" ~doc:"Slot mapping of the case study (first-fit or exact)")
     (with_obs "map"
        Term.(
-         const (fun baseline optimal order jobs cache () ->
-             map_cmd_run baseline optimal order jobs cache)
-         $ baseline_arg $ optimal_arg $ order_arg $ jobs_arg $ cache_arg))
+         const (fun baseline optimal order jobs cache no_prefilter no_symmetry
+                    () ->
+             map_cmd_run baseline optimal order jobs cache no_prefilter
+               no_symmetry)
+         $ baseline_arg $ optimal_arg $ order_arg $ jobs_arg $ cache_arg
+         $ no_prefilter_arg $ no_symmetry_arg))
 
 let disturbances_arg =
   Arg.(value & opt_all string [] & info [ "d"; "disturb" ] ~docv:"SAMPLE:APP" ~doc:"Disturbance arrival, e.g. -d 0:C1.")
@@ -829,8 +887,9 @@ let fleet_cmd =
   Cmd.v (Cmd.info "fleet" ~doc:"Generate a synthetic fleet and map it to slots")
     (with_obs "fleet"
        Term.(
-         const (fun count seed () -> fleet_cmd_run count seed)
-         $ count_arg $ seed_arg))
+         const (fun count seed no_prefilter no_symmetry () ->
+             fleet_cmd_run count seed no_prefilter no_symmetry)
+         $ count_arg $ seed_arg $ no_prefilter_arg $ no_symmetry_arg))
 
 let out_arg =
   Arg.(value & opt (some string) None & info [ "o" ] ~docv:"PATH" ~doc:"Write PATH.xml and PATH.q instead of stdout.")

@@ -87,6 +87,35 @@ let arrival_orders (specs : Sched.Appspec.t array) subset =
 
 type node = { st : Sched.Slot_state.t; budget : int array }
 
+(* Interchangeable applications: identical timing parameters mean the
+   transition relation commutes with any permutation inside the orbit
+   (names never influence scheduling, and every arrival order is
+   enumerated), so states differing only by such a permutation reach an
+   error iff their representative does. *)
+let orbit_partition (specs : Sched.Appspec.t array) =
+  let same i j =
+    let a = specs.(i) and b = specs.(j) in
+    a.Sched.Appspec.t_w_max = b.Sched.Appspec.t_w_max
+    && a.Sched.Appspec.t_dw_min = b.Sched.Appspec.t_dw_min
+    && a.Sched.Appspec.t_dw_max = b.Sched.Appspec.t_dw_max
+    && a.Sched.Appspec.r = b.Sched.Appspec.r
+  in
+  Search.Symmetry.partition ~n:(Array.length specs) ~same
+
+(* With quotienting on, a grant seen for one orbit member stands for the
+   permuted grants of every member, so the exact per-application worst
+   case is the orbit maximum (constant across the orbit by symmetry). *)
+let orbit_max_wait part max_wait =
+  Array.iter
+    (function
+      | [] | [ _ ] -> ()
+      | members ->
+        let m =
+          List.fold_left (fun acc i -> Int.max acc max_wait.(i)) (-1) members
+        in
+        List.iter (fun i -> max_wait.(i) <- m) members)
+    (Search.Symmetry.orbits part)
+
 (* the label of a transition: the adversary's move plus the tick
    outcome the merge loop needs (slot grants for max_wait, fresh
    errors for the verdict) — carrying it on the edge keeps the
@@ -97,8 +126,8 @@ type move = {
   new_errors : int list;
 }
 
-let explore_impl ~pool ~order ~policy ~subsume ~instances ~deadline ~max_states
-    specs =
+let explore_impl ~pool ~order ~policy ~subsume ~symmetry ~instances ~deadline
+    ~max_states specs =
   let n = Array.length specs in
   let max_wait = Array.make n (-1) in
   let bounded = instances <> None in
@@ -115,9 +144,66 @@ let explore_impl ~pool ~order ~policy ~subsume ~instances ~deadline ~max_states
   let initial =
     { st = Sched.Slot_state.initial specs; budget = initial_budget }
   in
+  (* the canonical relabelling of a node, [None] when the node is its
+     own representative: within each orbit of identical-parameter
+     applications, members are sorted by their full local situation —
+     phase (real quiet age included), disturbance budget, position in
+     the shared EDF buffer, slot ownership.  Ties are genuinely
+     interchangeable (equal phase, equal budget, both outside the
+     buffer, neither owning), so the relabelled state is independent of
+     which permutation realises it.  Both dedup channels call this once
+     per generated successor, in the engine's sequential merge order,
+     which keeps the collapse counter deterministic at any pool size. *)
+  let canon =
+    match symmetry with
+    | None -> fun _ -> None
+    | Some part ->
+      fun nd ->
+        let st = nd.st in
+        let bufpos = Array.make n (-1) in
+        List.iteri
+          (fun pos id -> bufpos.(id) <- pos)
+          st.Sched.Slot_state.buffer;
+        let descr i =
+          ( st.Sched.Slot_state.phases.(i),
+            (if bounded then nd.budget.(i) else 0),
+            bufpos.(i),
+            st.Sched.Slot_state.owner = Some i )
+        in
+        let perm = Search.Symmetry.canonical_perm part ~descr in
+        if Search.Symmetry.is_identity perm then None
+        else begin
+          Search.Symmetry.note_collapsed ();
+          Some perm
+        end
+  in
+  let permute_state perm st budget =
+    let phases' = Array.make n st.Sched.Slot_state.phases.(0) in
+    Array.iteri (fun i p -> phases'.(perm.(i)) <- p) st.Sched.Slot_state.phases;
+    let buffer' = List.map (fun id -> perm.(id)) st.Sched.Slot_state.buffer in
+    let owner' = Option.map (fun id -> perm.(id)) st.Sched.Slot_state.owner in
+    let budget' =
+      if not bounded then budget
+      else begin
+        let b = Array.make n 0 in
+        Array.iteri (fun i v -> b.(perm.(i)) <- v) budget;
+        b
+      end
+    in
+    (phases', buffer', owner', budget')
+  in
   let abstract node =
-    let st = node.st in
-    let ages = Array.make (Array.length st.Sched.Slot_state.phases) (-1) in
+    let perm = canon node in
+    let phases, buffer, owner, budget =
+      match perm with
+      | None ->
+        ( node.st.Sched.Slot_state.phases,
+          node.st.Sched.Slot_state.buffer,
+          node.st.Sched.Slot_state.owner,
+          node.budget )
+      | Some perm -> permute_state perm node.st node.budget
+    in
+    let ages = Array.make (Array.length phases) (-1) in
     let masked =
       Array.mapi
         (fun i p ->
@@ -126,9 +212,9 @@ let explore_impl ~pool ~order ~policy ~subsume ~instances ~deadline ~max_states
             ages.(i) <- age;
             Sched.Slot_state.Safe { age = 0 }
           | Sched.Slot_state.Steady | Waiting _ | Running _ | Error -> p)
-        st.Sched.Slot_state.phases
+        phases
     in
-    ((masked, st.Sched.Slot_state.buffer, st.Sched.Slot_state.owner, node.budget), ages)
+    ((masked, buffer, owner, budget), ages)
   in
   let covers explored ages =
     (* [explored] admits every behaviour of [ages]: pointwise at least
@@ -148,22 +234,32 @@ let explore_impl ~pool ~order ~policy ~subsume ~instances ~deadline ~max_states
     type label = move
 
     module Key = struct
-      type t = node
+      type t =
+        Sched.Slot_state.phase array * int list * int option * int array
 
-      let equal a b = Sched.Slot_state.equal a.st b.st && a.budget = b.budget
+      let equal (a : t) (b : t) = a = b
 
       (* the default polymorphic hash inspects only ~10 nodes, which
          makes structurally similar scheduler states collide heavily;
          hash deeply (on typed fields — no [Obj] anywhere) *)
-      let hash nd =
-        Hashtbl.hash_param 1000 1000
-          ( nd.st.Sched.Slot_state.phases,
-            nd.st.Sched.Slot_state.buffer,
-            nd.st.Sched.Slot_state.owner,
-            nd.budget )
+      let hash (k : t) = Hashtbl.hash_param 1000 1000 k
     end
 
-    let key nd = nd
+    (* dedup key: the state's payload as a plain tuple (equality and
+       hash coincide bit-for-bit with the former node-based key), first
+       relabelled canonically when the node is not its own orbit
+       representative.  [Slot_state.t] is private, so the canonical
+       form lives only in the key, never as a state.  (This exact table
+       only dedups in [`Bfs] mode; under subsumption the engine runs
+       non-exact and [abstract] above carries the quotient.) *)
+    let key nd =
+      match canon nd with
+      | None ->
+        ( nd.st.Sched.Slot_state.phases,
+          nd.st.Sched.Slot_state.buffer,
+          nd.st.Sched.Slot_state.owner,
+          nd.budget )
+      | Some perm -> permute_state perm nd.st nd.budget
 
     let successors node =
       List.map
@@ -247,8 +343,8 @@ let explore_impl ~pool ~order ~policy ~subsume ~instances ~deadline ~max_states
       };
   }
 
-let explore ?pool ?(order = `Bfs) ~policy ~subsume ~instances ?deadline
-    ?max_states specs =
+let explore ?pool ?(order = `Bfs) ~policy ~subsume ~symmetry ~instances
+    ?deadline ?max_states specs =
   (match deadline with
    | Some d when d <= 0. -> invalid_arg "Dverify: deadline must be positive"
    | _ -> ());
@@ -257,25 +353,80 @@ let explore ?pool ?(order = `Bfs) ~policy ~subsume ~instances ?deadline
    | _ -> ());
   let pool = match pool with Some p -> p | None -> Par.Pool.default () in
   let order = match order with `Bfs -> Search.Bfs | `Dfs -> Search.Dfs in
+  let part =
+    if not symmetry then None
+    else
+      let p = orbit_partition specs in
+      if Search.Symmetry.nontrivial p then Some p else None
+  in
   Obs.Span.with_ "dverify" (fun () ->
-      explore_impl ~pool ~order ~policy ~subsume ~instances ~deadline
-        ~max_states specs)
+      let r =
+        explore_impl ~pool ~order ~policy ~subsume ~symmetry:part ~instances
+          ~deadline ~max_states specs
+      in
+      match (part, r.verdict) with
+      | None, _ | Some _, Undetermined _ -> r
+      | Some p, Safe ->
+        orbit_max_wait p r.stats.max_wait;
+        r
+      | Some _, Unsafe _ ->
+        (* a quotient counterexample is real but may be a permuted twin
+           of the one the exact engine reports; re-run without the
+           quotient so trace, stats and pretty-printed output stay
+           byte-identical to the reference engine *)
+        explore_impl ~pool ~order ~policy ~subsume ~symmetry:None ~instances
+          ~deadline ~max_states specs)
+
+let screen ~policy specs =
+  match Sched.Prefilter.decide ~policy specs with
+  | Sched.Prefilter.Inconclusive -> None
+  | Sched.Prefilter.Analytic_safe ->
+    Some
+      {
+        verdict = Safe;
+        stats =
+          {
+            states = 0;
+            transitions = 0;
+            elapsed = 0.;
+            max_wait = Array.make (Array.length specs) (-1);
+          };
+      }
+  | Sched.Prefilter.Analytic_unsafe w ->
+    Some
+      {
+        verdict =
+          Unsafe
+            { steps = w.Sched.Prefilter.steps; failing = w.Sched.Prefilter.failing };
+        stats =
+          {
+            states = 0;
+            transitions = 0;
+            elapsed = 0.;
+            max_wait = Array.make (Array.length specs) (-1);
+          };
+      }
 
 let verify ?pool ?order ?(policy = Sched.Slot_state.Eager_preempt)
-    ?(mode = `Subsumption) ?deadline ?max_states specs =
-  match mode with
-  | `Bfs ->
-    explore ?pool ?order ~policy ~subsume:false ~instances:None ?deadline
-      ?max_states specs
-  | `Subsumption ->
-    explore ?pool ?order ~policy ~subsume:true ~instances:None ?deadline
-      ?max_states specs
+    ?(mode = `Subsumption) ?(prefilter = false) ?(symmetry = false) ?deadline
+    ?max_states specs =
+  let exact () =
+    match mode with
+    | `Bfs ->
+      explore ?pool ?order ~policy ~subsume:false ~symmetry ~instances:None
+        ?deadline ?max_states specs
+    | `Subsumption ->
+      explore ?pool ?order ~policy ~subsume:true ~symmetry ~instances:None
+        ?deadline ?max_states specs
+  in
+  if not prefilter then exact ()
+  else match screen ~policy specs with Some r -> r | None -> exact ()
 
 let verify_bounded ?pool ?order ?(policy = Sched.Slot_state.Eager_preempt)
-    ?deadline ?max_states ~instances specs =
+    ?(symmetry = false) ?deadline ?max_states ~instances specs =
   if instances < 1 then invalid_arg "Dverify.verify_bounded: instances < 1";
-  explore ?pool ?order ~policy ~subsume:true ~instances:(Some instances)
-    ?deadline ?max_states specs
+  explore ?pool ?order ~policy ~subsume:true ~symmetry
+    ~instances:(Some instances) ?deadline ?max_states specs
 
 let pp_counterexample specs ppf (ce : counterexample) =
   Format.fprintf ppf "@[<v>";

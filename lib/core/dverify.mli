@@ -59,6 +59,8 @@ val verify :
   ?order:[ `Bfs | `Dfs ] ->
   ?policy:Sched.Slot_state.policy ->
   ?mode:[ `Bfs | `Subsumption ] ->
+  ?prefilter:bool ->
+  ?symmetry:bool ->
   ?deadline:float ->
   ?max_states:int ->
   Sched.Appspec.t array ->
@@ -84,12 +86,35 @@ val verify :
     counterexamples and state counts may differ, and only the FIFO
     order is eligible for batched parallel expansion — [`Dfs] always
     runs sequentially.
+
+    [prefilter] (default false) consults the two-sided analytic screen
+    ({!Sched.Prefilter.decide}) before exploring: an [Analytic_safe]
+    group returns [Safe] and an [Analytic_unsafe] one returns [Unsafe]
+    with the saturation witness as counterexample, both with zero
+    states/transitions and an all-[-1] [max_wait] (no exploration
+    happened); [Inconclusive] falls through to the engine.  Screened
+    verdicts always agree with the engine's — only the statistics
+    differ.
+
+    [symmetry] (default false) quotients the search space by
+    permutations of applications with identical timing parameters
+    (same [T*_w], [T⁻_dw], [T⁺_dw], [r]): states that coincide after
+    canonically relabelling each orbit are explored once.  The verdict
+    is preserved; on [Safe] the [max_wait] table is corrected to the
+    orbit maximum (which equals the exact per-application value, by
+    symmetry), and on [Unsafe] the engine transparently re-runs without
+    the quotient so the counterexample, statistics and pretty-printed
+    output are byte-identical to the exact run.  [states]/[transitions]
+    of a [Safe] or [Undetermined] run reflect the quotient space (the
+    point of the feature); groups with no two identical applications
+    are unaffected bit-for-bit.
     @raise Invalid_argument when [deadline <= 0] or [max_states < 1]. *)
 
 val verify_bounded :
   ?pool:Par.Pool.t ->
   ?order:[ `Bfs | `Dfs ] ->
   ?policy:Sched.Slot_state.policy ->
+  ?symmetry:bool ->
   ?deadline:float ->
   ?max_states:int ->
   instances:int ->
@@ -99,7 +124,11 @@ val verify_bounded :
     under-approximation in general; exact whenever the unbounded system
     is "memoryless" past that many instances (the paper argues the
     bound computed from coinciding-disturbance counting is sufficient
-    for its case study). *)
+    for its case study).  [symmetry] behaves as in {!val-verify} (the
+    per-application disturbance budgets are part of the canonical
+    form, so the quotient remains exact).  No analytic pre-filter is
+    offered here: the saturation witness may disturb an application
+    more than [instances] times, which the bounded adversary cannot. *)
 
 val pp_reason : Format.formatter -> reason -> unit
 val pp_verdict : Sched.Appspec.t array -> Format.formatter -> verdict -> unit

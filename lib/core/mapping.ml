@@ -18,10 +18,11 @@ let specs_of_group group =
 
 (* the default verifier parameterised by the engine's frontier order:
    Safe/Unsafe is order-independent, so [`Dfs] only changes the shape
-   of the search, never the packing *)
-let ordered_verifier order specs : verdict =
+   of the search, never the packing.  Symmetry quotienting is likewise
+   verdict-preserving, so enabling it can never change a packing. *)
+let ordered_verifier ?(symmetry = false) order specs : verdict =
   match
-    (Dverify.verify ~order ~mode:`Subsumption specs).Dverify.verdict
+    (Dverify.verify ~order ~mode:`Subsumption ~symmetry specs).Dverify.verdict
   with
   | Dverify.Safe -> `Safe
   | Dverify.Unsafe _ -> `Unsafe
@@ -29,6 +30,20 @@ let ordered_verifier order specs : verdict =
     `Undetermined (Format.asprintf "%a" Dverify.pp_reason reason)
 
 let default_verifier specs = ordered_verifier `Bfs specs
+
+(* the analytic screen as a partial verdict: both sides are sound
+   (Prefilter's accept implies engine-Safe, its witness implies
+   engine-Unsafe), so substituting a screened verdict for an engine run
+   can never change a packing, a verification count or the monotone
+   pruning in [optimal] — only skip the exploration.  Screened verdicts
+   deliberately bypass the cache: recomputing them is cheaper than a
+   table lookup, and they would otherwise crowd the persistent store
+   with entries the screen can always regenerate. *)
+let analytic_screen specs : verdict option =
+  match Sched.Prefilter.decide specs with
+  | Sched.Prefilter.Analytic_safe -> Some `Safe
+  | Sched.Prefilter.Analytic_unsafe _ -> Some `Unsafe
+  | Sched.Prefilter.Inconclusive -> None
 
 (* graceful-degradation verifier: exact subsumption first; when its
    budget runs out, retry with the paper's bounded-instance
@@ -106,32 +121,46 @@ let apply_verifier ?cache verifier specs =
   | Some c ->
     Par.Vcache.find_or_add' c (fingerprint specs) (fun () -> verifier specs)
 
-(* a probe with its latency and provenance, for the verdict histogram *)
-let timed_probe ?cache verifier specs =
+(* a probe with its latency and provenance, for the verdict histogram.
+   [screen], when present, is consulted ahead of both cache levels and
+   the engine *)
+let timed_probe ?cache ?screen verifier specs =
   let t0 = Obs.Clock.now () in
-  let v, src = apply_verifier ?cache verifier specs in
-  (v, Obs.Clock.now () -. t0, src)
+  match (match screen with Some s -> s specs | None -> None) with
+  | Some v -> (v, Obs.Clock.now () -. t0, `Screen)
+  | None ->
+    let v, src = apply_verifier ?cache verifier specs in
+    (v, Obs.Clock.now () -. t0, (src :> [ `Mem | `Disk | `Miss | `Screen ]))
 
-(* cache hits get their own counter and stay out of the latency
-   histogram: a ~0 s table lookup is not an engine run, and mixing the
-   two made mapping.verdict_s useless for spotting slow groups *)
+(* cache hits and analytic screens get their own counters and stay out
+   of the latency histogram: a ~0 s table lookup or closed-form test is
+   not an engine run, and mixing the two made mapping.verdict_s useless
+   for spotting slow groups *)
 let probe_metrics dt src =
   if Obs.Trace_ctx.enabled () then begin
     Obs.Metric.count "mapping.model_checks" 1;
     match src with
     | `Miss -> Obs.Metric.observe_value "mapping.verdict_s" dt
     | `Mem | `Disk -> Obs.Metric.count "mapping.cache_hits" 1
+    | `Screen -> Obs.Metric.count "mapping.screened" 1
   end
 
-let checked_verdict ?cache verifier specs =
-  let v, dt, src = timed_probe ?cache verifier specs in
+let checked_verdict ?cache ?screen verifier specs =
+  let v, dt, src = timed_probe ?cache ?screen verifier specs in
   probe_metrics dt src;
   v
 
-let first_fit ?pool ?cache ?(order = `Bfs) ?verifier ?(presorted = false)
-    apps =
+let first_fit ?pool ?cache ?(order = `Bfs) ?verifier ?(prefilter = true)
+    ?(symmetry = true) ?(presorted = false) apps =
+  (* the screen's soundness argument is tied to the default engine's
+     semantics, so a caller-supplied verifier switches it off *)
+  let screen =
+    match verifier with
+    | Some _ -> None
+    | None -> if prefilter then Some analytic_screen else None
+  in
   let verifier =
-    match verifier with Some v -> v | None -> ordered_verifier order
+    match verifier with Some v -> v | None -> ordered_verifier ~symmetry order
   in
   Obs.Span.with_ "mapping.first_fit" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Par.Pool.default () in
@@ -156,7 +185,7 @@ let first_fit ?pool ?cache ?(order = `Bfs) ?verifier ?(presorted = false)
       false
   in
   let probe group app =
-    timed_probe ?cache verifier (specs_of_group (group @ [ app ]))
+    timed_probe ?cache ?screen verifier (specs_of_group (group @ [ app ]))
   in
   let place slots app =
     match slots with
@@ -210,9 +239,15 @@ let pp ppf t =
    calling the verifier.  The minimum partition into safe subsets is a
    DP over bitmasks. *)
 
-let optimal ?cache ?(order = `Bfs) ?verifier apps =
+let optimal ?cache ?(order = `Bfs) ?verifier ?(prefilter = true)
+    ?(symmetry = true) apps =
+  let screen =
+    match verifier with
+    | Some _ -> None
+    | None -> if prefilter then Some analytic_screen else None
+  in
   let verifier =
-    match verifier with Some v -> v | None -> ordered_verifier order
+    match verifier with Some v -> v | None -> ordered_verifier ~symmetry order
   in
   Obs.Span.with_ "mapping.optimal" @@ fun () ->
   let apps = Array.of_list apps in
@@ -250,7 +285,9 @@ let optimal ?cache ?(order = `Bfs) ?verifier apps =
           else begin
             incr count;
             let group = List.map (fun i -> apps.(i)) ids in
-            match checked_verdict ?cache verifier (specs_of_group group) with
+            match
+              checked_verdict ?cache ?screen verifier (specs_of_group group)
+            with
             | `Safe -> true
             | `Unsafe -> false
             | `Undetermined _ ->

@@ -81,6 +81,8 @@ val first_fit :
   ?cache:cache ->
   ?order:[ `Bfs | `Dfs ] ->
   ?verifier:verifier ->
+  ?prefilter:bool ->
+  ?symmetry:bool ->
   ?presorted:bool ->
   App.t list ->
   outcome
@@ -96,7 +98,19 @@ val first_fit :
     calls) to skip repeated probes of the same subset.  [order]
     (default [`Bfs]) sets the frontier order of the default verifier
     (ignored when [verifier] is supplied); packings are
-    order-independent because Safe/Unsafe is. *)
+    order-independent because Safe/Unsafe is.
+
+    [prefilter] (default true) screens every candidate group through
+    {!Sched.Prefilter.decide} ahead of the cache and the engine; a
+    screened group still counts as one verification, so packings and
+    all reported counts are byte-identical with the screen on or off —
+    only the exact-engine runs are saved ([mapping.screened] counts
+    them).  [symmetry] (default true) lets the default verifier
+    quotient the search space by permutations of identical-parameter
+    applications — verdict-preserving, hence packing-preserving.  Both
+    switches apply to the built-in verifier only: a caller-supplied
+    [verifier] may implement different semantics, for which the
+    screen's soundness argument does not hold, so it runs unscreened. *)
 
 val specs_of_group : App.t list -> Sched.Appspec.t array
 (** Dense scheduler specs for a candidate group (ids assigned in list
@@ -108,6 +122,8 @@ val optimal :
   ?cache:cache ->
   ?order:[ `Bfs | `Dfs ] ->
   ?verifier:verifier ->
+  ?prefilter:bool ->
+  ?symmetry:bool ->
   App.t list ->
   outcome
 (** Exact minimum-slot partition (in contrast to the paper's first-fit
@@ -119,4 +135,8 @@ val optimal :
     bitmasks.  Exponential in the number of applications (fine for the
     slot-sized instances this problem deals in; guarded at 16 apps).
     [verifications] counts the verifier calls actually performed after
-    pruning.  @raise Invalid_argument beyond 16 applications. *)
+    pruning.  [prefilter] and [symmetry] (both default true) behave as
+    in {!first_fit}: screened subsets keep their place in the monotone
+    lattice and in [verifications], so the partition and every count
+    are unchanged — only engine runs are saved.
+    @raise Invalid_argument beyond 16 applications. *)

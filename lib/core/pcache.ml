@@ -1,7 +1,11 @@
 (* the salt names every run-invariant input a cached value depends on:
-   bump the engine tag whenever Dverify/Dwell semantics change; the
-   codec version rides along so a format change invalidates too *)
-let engine_salt = Printf.sprintf "dverify-1 codec-%d" Table_codec.version
+   bump the engine tag whenever Dverify/Dwell semantics change (the
+   prefilter/symmetry hot-path rework is "dverify-2 prefilter-1": the
+   verdicts are provably unchanged, but verdict provenance now spans
+   the analytic screen, so pre-screen stores are retired wholesale
+   rather than audited); the codec version rides along so a format
+   change invalidates too *)
+let engine_salt = Printf.sprintf "dverify-2 prefilter-1 codec-%d" Table_codec.version
 
 type t = {
   store : Store.t;

@@ -425,3 +425,8 @@ module Make (S : STATE_SPACE) = struct
       trace;
     }
 end
+
+(* sibling module re-exported through the library's root: the engine
+   itself is symmetry-agnostic (clients canonicalise in [key]), but the
+   orbit machinery belongs with the search layer *)
+module Symmetry = Symmetry

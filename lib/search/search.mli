@@ -147,3 +147,9 @@ module Make (S : STATE_SPACE) : sig
       the event multiset is identical once timing fields are
       masked. *)
 end
+
+module Symmetry : module type of Symmetry
+(** Orbit partitions and canonical-sort keys for clients that quotient
+    their state space by component permutations — see
+    {!Symmetry.canonical_perm}.  The engine is untouched: a client
+    applies the canonical relabelling inside its own [key] function. *)

@@ -1,0 +1,61 @@
+(** Orbit partitions and canonical-sort keys for symmetry quotienting.
+
+    A client whose states are indexed by a fixed set of components
+    (e.g. one sub-state per application) can quotient its search space
+    by any group of component permutations that commutes with the
+    transition relation.  The usual source of such a group is
+    interchangeable components: applications with identical timing
+    parameters can be swapped without changing reachability of an
+    error, so states that differ only by such a swap are equivalent.
+
+    This module provides the two pure ingredients — the orbit
+    partition (which components are interchangeable) and the
+    canonical permutation (a representative relabelling chosen by
+    sorting each orbit's members by a client descriptor) — plus the
+    shared [search.orbit_collapsed] metric.  The client applies the
+    permutation to its own state representation and uses the result as
+    its dedup key; the engine itself is untouched, so a client that
+    opts out keeps byte-identical behaviour. *)
+
+type t
+(** An orbit partition of components [0 .. n-1]. *)
+
+val partition : n:int -> same:(int -> int -> bool) -> t
+(** Group components into orbits of pairwise-[same] members.  [same]
+    must be an equivalence on [0 .. n-1]; it is sampled against the
+    smallest member of each existing orbit, so [partition] is O(n ×
+    orbits). *)
+
+val nontrivial : t -> bool
+(** At least one orbit has two or more members — quotienting can
+    collapse something.  When false, clients should skip
+    canonicalisation entirely: the identity is the only
+    orbit-preserving permutation. *)
+
+val orbits : t -> int list array
+(** The orbits as sorted member lists (ascending), largest-first not
+    guaranteed; singleton orbits included.  Useful for post-run
+    fix-ups such as replacing per-member statistics by their orbit
+    maximum. *)
+
+val canonical_perm : t -> descr:(int -> 'd) -> int array
+(** The canonical relabelling for one state: within each orbit, the
+    members sorted by the polymorphic order on their descriptors
+    [descr i] are assigned the orbit's index slots in ascending order.
+    Returns [perm] with [perm.(i)] the canonical slot of component
+    [i]; components in singleton orbits are fixed.
+
+    The resulting key is permutation-invariant provided the client's
+    descriptor satisfies: two members of one orbit with equal
+    descriptors are genuinely interchangeable in the state (swapping
+    them yields the identical relabelled state).  Descriptors that
+    embed each component's full local state plus its position in any
+    shared ordered structure (queue index, ownership flag) have this
+    property. *)
+
+val is_identity : int array -> bool
+
+val note_collapsed : unit -> unit
+(** Count one state folded onto a different orbit representative on
+    the shared [search.orbit_collapsed] metric (no-op while
+    observability is disabled). *)

@@ -214,6 +214,12 @@ let gen_automaton name =
                 Ta.Automaton.location (Printf.sprintf "%s%d" name i)))
          ~initial:0 ~edges))
 
+let net_of automata =
+  Ta.Network.make
+    ~automata:(Array.of_list automata)
+    ~clock_names:[| "x"; "y" |] ~channel_names:[||] ~initial_store:[||]
+    ~clock_maxima:[| guard_max; guard_max |]
+
 let gen_net =
   QCheck2.Gen.(
     let* n_auto = int_range 1 2 in
@@ -222,11 +228,49 @@ let gen_net =
         (List.init n_auto (fun i ->
              gen_automaton (String.make 1 (Char.chr (Char.code 'A' + i)))))
     in
+    return (net_of automata))
+
+(* identical-app bias: one random structure stamped out 2–3 times under
+   different names.  The product of interchangeable components is
+   exactly the shape the discrete engine's symmetry quotient collapses,
+   and the heterogeneous draws of [gen_net] almost never produce it —
+   so the concrete-enumeration oracle would otherwise leave the
+   symmetric region of the space untested. *)
+let gen_symmetric_net =
+  QCheck2.Gen.(
+    let* n_locs = int_range 2 3 in
+    let gen_guard =
+      let* clock = int_range 1 n_clocks in
+      let* cmp = oneofl [ Ta.Automaton.Le; Ta.Automaton.Ge; Ta.Automaton.Eq ] in
+      let* c = int_range 0 guard_max in
+      return (Ta.Automaton.guard_const clock cmp c)
+    in
+    let gen_edge =
+      let* src = int_range 0 (n_locs - 1) in
+      let* dst = int_range 0 (n_locs - 1) in
+      let* guards = list_size (int_range 0 2) gen_guard in
+      let* reset_x = bool in
+      let* reset_y = bool in
+      let resets =
+        (if reset_x then [ (1, 0) ] else [])
+        @ if reset_y then [ (2, 0) ] else []
+      in
+      return (Ta.Automaton.edge ~guards ~resets ~src ~dst ())
+    in
+    let* n_edges = int_range 1 3 in
+    let* edges = list_repeat n_edges gen_edge in
+    let* n_copies = int_range 2 3 in
+    let clone name =
+      Ta.Automaton.make ~name
+        ~locations:
+          (Array.init n_locs (fun i ->
+               Ta.Automaton.location (Printf.sprintf "%s%d" name i)))
+        ~initial:0 ~edges
+    in
     return
-      (Ta.Network.make
-         ~automata:(Array.of_list automata)
-         ~clock_names:[| "x"; "y" |] ~channel_names:[||] ~initial_store:[||]
-         ~clock_maxima:[| guard_max; guard_max |]))
+      (net_of
+         (List.init n_copies (fun i ->
+              clone (String.make 1 (Char.chr (Char.code 'A' + i)))))))
 
 (* all reachable location vectors by exhaustive concrete execution —
    the enumeration itself is {!Ta.Concrete.enumerate}, i.e. a third
@@ -260,26 +304,33 @@ let all_combos (net : Ta.Network.t) =
         acc)
     net.Ta.Network.automata [ [] ]
 
+let reach_matches_concrete net =
+  let oracle = oracle_reachable net in
+  List.for_all
+    (fun combo ->
+      let target = Array.of_list combo in
+      let zone =
+        match
+          (Ta.Reach.run ~max_states:50_000 net
+             (fun ~locs ~store:_ -> locs = target))
+            .Ta.Reach.outcome
+        with
+        | Ta.Reach.Hit _ -> true
+        | Ta.Reach.Unreachable -> false
+        | Ta.Reach.Exhausted _ ->
+          QCheck2.Test.fail_report "budget exhausted on a tiny net"
+      in
+      zone = Hashtbl.mem oracle combo)
+    (all_combos net)
+
 let prop_reach_matches_concrete =
   QCheck2.Test.make ~name:"zone reachability = concrete enumeration"
-    ~count:200 gen_net (fun net ->
-      let oracle = oracle_reachable net in
-      List.for_all
-        (fun combo ->
-          let target = Array.of_list combo in
-          let zone =
-            match
-              (Ta.Reach.run ~max_states:50_000 net
-                 (fun ~locs ~store:_ -> locs = target))
-                .Ta.Reach.outcome
-            with
-            | Ta.Reach.Hit _ -> true
-            | Ta.Reach.Unreachable -> false
-            | Ta.Reach.Exhausted _ ->
-              QCheck2.Test.fail_report "budget exhausted on a tiny net"
-          in
-          zone = Hashtbl.mem oracle combo)
-        (all_combos net))
+    ~count:200 gen_net reach_matches_concrete
+
+let prop_reach_matches_concrete_symmetric =
+  QCheck2.Test.make
+    ~name:"zone reachability = concrete enumeration (identical components)"
+    ~count:100 gen_symmetric_net reach_matches_concrete
 
 (* ------------------------------------------------------------------ *)
 
@@ -293,5 +344,6 @@ let () =
             prop_includes_implies_subset;
             prop_up_and_extrapolate_widen;
             prop_reach_matches_concrete;
+            prop_reach_matches_concrete_symmetric;
           ] );
     ]

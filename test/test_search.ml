@@ -217,9 +217,9 @@ let unsafe_pair =
      in
      [| spec ~name:"A" ~id:0; spec ~name:"B" ~id:1 |])
 
-let check_dv label ?pool ?order ?mode specs ~verdict ~states ~transitions
-    ~max_wait =
-  let r = Core.Dverify.verify ?pool ?order ?mode specs in
+let check_dv label ?pool ?order ?mode ?prefilter ?symmetry specs ~verdict
+    ~states ~transitions ~max_wait =
+  let r = Core.Dverify.verify ?pool ?order ?mode ?prefilter ?symmetry specs in
   let v =
     match r.Core.Dverify.verdict with
     | Core.Dverify.Safe -> "Safe"
@@ -381,6 +381,122 @@ let test_jobs_determinism () =
            ~transitions:18 ~max_wait:"[|0;0|]"))
     [ 1; 2; 4 ]
 
+(* ------------------------------------------------------------------ *)
+(* Symmetry quotient pins.  The quotient must be invisible in every
+   observable: verdicts always, max-wait tables on Safe (orbit fix-up),
+   and the full counterexample text on Unsafe (transparent exact
+   re-run) — only the Safe-side state counts may shrink. *)
+
+(* three interchangeable applications, analytically safe but far from
+   trivial for the engine: min dwell 3, so two competitors hold the
+   slot for at most 6 < T*_w = 8 samples *)
+let trio =
+  lazy
+    (let spec ~name ~id =
+       Sched.Appspec.make ~id ~name ~t_w_max:8 ~t_dw_min:(Array.make 9 3)
+         ~t_dw_max:(Array.make 9 4) ~r:13
+     in
+     [| spec ~name:"A" ~id:0; spec ~name:"B" ~id:1; spec ~name:"C" ~id:2 |])
+
+let dv_fingerprint (r : Core.Dverify.result) =
+  let v =
+    match r.Core.Dverify.verdict with
+    | Core.Dverify.Safe -> "Safe"
+    | Core.Dverify.Unsafe _ -> "Unsafe"
+    | Core.Dverify.Undetermined _ -> "Undet"
+  in
+  Printf.sprintf "%s states=%d transitions=%d max_wait=%s" v
+    r.Core.Dverify.stats.Core.Dverify.states
+    r.Core.Dverify.stats.Core.Dverify.transitions
+    (pr_arr r.Core.Dverify.stats.Core.Dverify.max_wait)
+
+let test_symmetry_safe_agrees () =
+  let g = Lazy.force trio in
+  let exact = Core.Dverify.verify g in
+  let quotient = Core.Dverify.verify ~symmetry:true g in
+  (match (exact.Core.Dverify.verdict, quotient.Core.Dverify.verdict) with
+   | Core.Dverify.Safe, Core.Dverify.Safe -> ()
+   | _ -> Alcotest.fail "trio must be Safe with and without the quotient");
+  Alcotest.(check string)
+    "orbit-max fix-up reproduces the exact max-wait table"
+    (pr_arr exact.Core.Dverify.stats.Core.Dverify.max_wait)
+    (pr_arr quotient.Core.Dverify.stats.Core.Dverify.max_wait);
+  Alcotest.(check bool)
+    "quotient explores strictly fewer states" true
+    (quotient.Core.Dverify.stats.Core.Dverify.states
+     < exact.Core.Dverify.stats.Core.Dverify.states);
+  (* plain BFS agrees too: the quotient composes with either mode *)
+  let qb = Core.Dverify.verify ~mode:`Bfs ~symmetry:true g in
+  Alcotest.(check string)
+    "same table under plain BFS"
+    (pr_arr exact.Core.Dverify.stats.Core.Dverify.max_wait)
+    (pr_arr qb.Core.Dverify.stats.Core.Dverify.max_wait)
+
+let test_symmetry_unsafe_byte_identical () =
+  (* the two AB applications are identical, so the quotient kicks in —
+     and on Unsafe the transparent exact re-run must make it invisible
+     bit-for-bit, counterexample text included *)
+  let g = Lazy.force unsafe_pair in
+  List.iter
+    (fun jobs ->
+      let pool = Par.Pool.create ~jobs in
+      let r =
+        check_dv
+          (Printf.sprintf "AB quotient jobs=%d" jobs)
+          ~pool ~symmetry:true g ~verdict:"Unsafe" ~states:17 ~transitions:18
+          ~max_wait:"[|0;0|]"
+      in
+      match r.Core.Dverify.verdict with
+      | Core.Dverify.Unsafe ce ->
+        Alcotest.(check (list int)) "failing ids" [ 0 ] ce.Core.Dverify.failing;
+        Alcotest.(check string) "rendered counterexample" expected_ce_text
+          (String.trim
+             (Format.asprintf "%a" (Core.Dverify.pp_counterexample g) ce))
+      | _ -> Alcotest.fail "AB must stay unsafe under the quotient")
+    [ 1; 2; 4 ]
+
+let test_symmetry_heterogeneous_untouched () =
+  (* no two S2 applications share parameters: every orbit is a
+     singleton and the quotient path must be bit-for-bit inert *)
+  ignore
+    (check_dv "S2 with symmetry" ~symmetry:true (Lazy.force s2) ~verdict:"Safe"
+       ~states:10201 ~transitions:10609 ~max_wait:"[|6;7|]")
+
+let test_symmetry_jobs_determinism () =
+  let g = Lazy.force trio in
+  let runs =
+    List.map
+      (fun jobs ->
+        let pool = Par.Pool.create ~jobs in
+        dv_fingerprint (Core.Dverify.verify ~pool ~symmetry:true g))
+      [ 1; 2; 4 ]
+  in
+  match runs with
+  | a :: rest ->
+    List.iteri
+      (fun i b ->
+        Alcotest.(check string)
+          (Printf.sprintf "quotient run identical at jobs %d"
+             (List.nth [ 2; 4 ] i))
+          a b)
+      rest
+  | [] -> assert false
+
+let test_symmetry_orbit_metric () =
+  Obs.Trace_ctx.enable ();
+  Obs.Metric.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metric.reset ();
+      Obs.Trace_ctx.disable ())
+    (fun () ->
+      ignore (Core.Dverify.verify ~symmetry:true (Lazy.force trio));
+      let collapsed =
+        Obs.Metric.value (Obs.Metric.counter "search.orbit_collapsed")
+      in
+      Alcotest.(check bool)
+        "orbit_collapsed > 0 on a 3-identical-app fleet" true (collapsed > 0))
+
 let test_pin_mapping () =
   let apps = List.map app_of [ "C1"; "C2"; "C3"; "C4"; "C5"; "C6" ] in
   let o = Core.Mapping.first_fit ~cache:(Core.Mapping.create_cache ()) apps in
@@ -422,5 +538,18 @@ let () =
           Alcotest.test_case "jobs 1/2/4 determinism" `Quick
             test_jobs_determinism;
           Alcotest.test_case "mapping packing pin" `Quick test_pin_mapping;
+        ] );
+      ( "symmetry",
+        [
+          Alcotest.test_case "safe quotient agrees" `Quick
+            test_symmetry_safe_agrees;
+          Alcotest.test_case "unsafe byte-identical at jobs 1/2/4" `Quick
+            test_symmetry_unsafe_byte_identical;
+          Alcotest.test_case "heterogeneous untouched" `Quick
+            test_symmetry_heterogeneous_untouched;
+          Alcotest.test_case "safe quotient jobs 1/2/4" `Quick
+            test_symmetry_jobs_determinism;
+          Alcotest.test_case "orbit_collapsed metric" `Quick
+            test_symmetry_orbit_metric;
         ] );
     ]

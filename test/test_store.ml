@@ -358,6 +358,32 @@ let test_pcache_mapping_cache_skips_engine () =
     (Core.Pcache.find_verdict pc undet = None);
   Core.Pcache.close pc
 
+(* the prefilter/symmetry rework bumped the engine tag: verdicts from a
+   pre-screen store must never be trusted by the new engine, so a store
+   written under the previous salt is retired wholesale on open *)
+let test_pcache_salt_bumped_for_prefilter () =
+  check_bool "salt names the prefilter engine generation" true
+    (String.length Core.Pcache.engine_salt >= 21
+     && String.sub Core.Pcache.engine_salt 0 21 = "dverify-2 prefilter-1");
+  with_pcache @@ fun path ->
+  let specs = [| adversarial_spec ~id:0 ~name:"A" |] in
+  (* forge a store as the previous engine generation would have written
+     it: same record shape, pre-bump salt *)
+  let old_salt =
+    Printf.sprintf "dverify-1 codec-%d" Core.Table_codec.version
+  in
+  (match Store.open_ ~path ~salt:old_salt with
+   | Ok s ->
+     Store.add s ("v:" ^ Core.Mapping.fingerprint specs) "unsafe";
+     Store.close s
+   | Error m -> Alcotest.failf "seeding old-salt store failed: %s" m);
+  let pc = pcache_exn path in
+  check_bool "stale verdict dropped, not believed" true
+    (Core.Pcache.find_verdict pc specs = None);
+  check_bool "whole pre-bump store retired" true
+    ((Core.Pcache.stats pc).Store.stale_dropped > 0);
+  Core.Pcache.close pc
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end determinism: the mappers under every cache mode *)
 
@@ -509,6 +535,8 @@ let () =
             test_pcache_mapping_cache_skips_engine;
           Alcotest.test_case "dwell table persists" `Quick
             test_dwell_table_persists;
+          Alcotest.test_case "pre-prefilter salt retired" `Quick
+            test_pcache_salt_bumped_for_prefilter;
         ] );
       ( "determinism", [ QCheck_alcotest.to_alcotest prop_cache_invisible ] );
     ]
