@@ -538,11 +538,11 @@ let system_simulation () =
        (List.map
           (fun (n, k) -> Printf.sprintf "%s=%d" n k)
           report.Cosim.System.tt_samples));
-  (* replay the whole system as FlexRay traffic and check the two
-     network facts the control design rests on *)
-  Printf.printf "\nbus-level validation (%s):\n"
-    (Format.asprintf "%a" Flexray.Config.pp Cosim.Bus_check.default_config);
-  Format.printf "%a@." Cosim.Bus_check.pp (Cosim.Bus_check.validate report)
+  (* replay the whole system on the reference transport and check the
+     two network facts the control design rests on *)
+  let bus = Backends.Flexray_backend.default in
+  Printf.printf "\nbus-level validation (%s):\n" (Bus.info bus);
+  Format.printf "%a@." Cosim.Bus_check.pp (Cosim.System.bus_validate ~bus report)
 
 (* ------------------------------------------------------------------ *)
 (* Scalability beyond the paper's case study *)
@@ -1083,6 +1083,78 @@ let cache_snapshot () =
       ignore (write_snapshot ~file:"BENCH_cache.json" ~command:"bench-cache"))
 
 (* ------------------------------------------------------------------ *)
+(* Lossy-transport sweep: the blackout campaign of X9 replayed on the
+   TTW backend under increasing link-loss rates, written to
+   BENCH_bus.json.  The curve of guarantee violations (and of
+   transport-level overruns) against the loss rate is the dimensioning
+   question the transport seam exists to answer.  The whole sweep is a
+   pure function of (spec, seed, backend), so it runs twice and any
+   divergence between the passes is a hard failure. *)
+
+let bus_sweep () =
+  section "X16" "Lossy-transport sweep — BENCH_bus.json (TTW, link:p=P)";
+  let slots =
+    [
+      List.map find_app [ "C1"; "C5"; "C4"; "C3" ];
+      List.map find_app [ "C6"; "C2" ];
+    ]
+  in
+  let rates = [ 0.0; 0.05; 0.1; 0.2; 0.3 ] in
+  let run_at p =
+    let spec =
+      match Faults.Spec.parse (Printf.sprintf "link:p=%g" p) with
+      | Ok s -> s
+      | Error e -> failwith e
+    in
+    match
+      Cosim.Campaign.run
+        ~bus:(Backends.default_of "ttw")
+        ~spec ~seed:42L ~runs:10 ~horizon:300 slots
+    with
+    | Error e -> failwith e
+    | Ok summary -> (Format.asprintf "%a" Cosim.Campaign.pp summary, summary)
+  in
+  let sweep () = List.map run_at rates in
+  Obs.Metric.reset ();
+  Obs.Span.reset ();
+  Obs.Trace_ctx.reset ();
+  Obs.Trace_ctx.enable ();
+  Fun.protect ~finally:Obs.Trace_ctx.disable (fun () ->
+      let first = sweep () and second = sweep () in
+      List.iteri
+        (fun i ((out1, _), (out2, _)) ->
+          if not (String.equal out1 out2) then
+            failwith
+              (Printf.sprintf
+                 "bus sweep: campaign at p=%g is nondeterministic"
+                 (List.nth rates i)))
+        (List.combine first second);
+      Printf.printf "%8s %10s %10s %12s %10s\n" "loss p" "violations"
+        "lost tx" "undelivered" "overruns";
+      List.iter2
+        (fun p (_, (s : Cosim.Campaign.summary)) ->
+          let sum f =
+            List.fold_left (fun acc g -> acc + f g) 0 s.Cosim.Campaign.slots
+          in
+          let lost = sum (fun g -> g.Cosim.Campaign.bus_lost_tx) in
+          let undeliv = sum (fun g -> g.Cosim.Campaign.bus_undelivered) in
+          let over = sum (fun g -> g.Cosim.Campaign.bus_overruns) in
+          Printf.printf "%8g %10d %10d %12d %10d\n" p
+            s.Cosim.Campaign.total_violations lost undeliv over;
+          let gauge kind v =
+            Obs.Metric.set_gauge
+              (Printf.sprintf "bench.bus.ttw.p%g.%s" p kind)
+              (float_of_int v)
+          in
+          gauge "violations" s.Cosim.Campaign.total_violations;
+          gauge "lost_tx" lost;
+          gauge "undelivered" undeliv;
+          gauge "overruns" over)
+        rates first;
+      print_endline "sweep byte-identical across two passes";
+      ignore (write_snapshot ~file:"BENCH_bus.json" ~command:"bench-bus"))
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1107,6 +1179,7 @@ let sections =
     ("par", par_snapshot);
     ("search", search_snapshot);
     ("cache", cache_snapshot);
+    ("bus", bus_sweep);
   ]
 
 (* no arguments runs everything; otherwise each argument names one

@@ -1,7 +1,7 @@
 (* cpsdim — control-aware dimensioning of TT slots for multi-resource
    CPS, after Roy et al., DAC 2019.
 
-   Subcommands: tables, verify, map, simulate, sweep, flexray. *)
+   Subcommands: tables, verify, map, simulate, sweep, bus. *)
 
 let app_of_name ?cache name =
   let a = Casestudy.find name in
@@ -44,6 +44,26 @@ let with_pcache cache f =
 let mapping_cache_of = function
   | Some pc -> Core.Pcache.mapping_cache pc
   | None -> Core.Mapping.create_cache ()
+
+(* --bus NAME resolves against the transport registry; None means "no
+   replay at all", which is also what the nominal paths did before the
+   transport seam existed *)
+let bus_of_name = function
+  | None -> Ok None
+  | Some name ->
+    (match Backends.find name with
+     | Some _ -> Ok (Some (Backends.default_of name))
+     | None ->
+       Error
+         (Printf.sprintf "unknown bus backend %S (have: %s)" name
+            (String.concat ", " (Backends.names ()))))
+
+(* the reference transport is silent when every fact holds, so --bus
+   flexray output stays byte-identical to the pre-seam CLI *)
+let bus_report_noteworthy bus (r : Cosim.Bus_check.result) =
+  (not (String.equal (Bus.configured_name bus) "flexray"))
+  || (not (Cosim.Bus_check.facts_hold r))
+  || r.Cosim.Bus_check.lost_tx > 0
 
 let pp_int_array ppf a =
   Format.fprintf ppf "[%s]"
@@ -136,7 +156,7 @@ let verify_cmd_run engine order bound deadline jobs cache prefilter symmetry
         | Core.Dverify.Unsafe _ -> 2
         | Core.Dverify.Undetermined _ -> 3)
      | `Ta ->
-       let r = Core.Ta_model.verify ~order ?deadline specs in
+       let r = Core.Ta_model.verify ~order ~prefilter ?deadline specs in
        (match r.Core.Ta_model.outcome with
         | `Undetermined reason ->
           Format.printf "undetermined: %a (%d symbolic states)@."
@@ -216,7 +236,11 @@ let write_csv_opt csv contents =
      | Ok () -> Format.printf "wrote %s@." path; 0
      | Error m -> prerr_endline m; 1)
 
-let simulate_cmd_run names disturbances horizon stride csv faults seed monitor =
+let simulate_cmd_run names disturbances horizon stride csv faults seed monitor
+    bus =
+  match bus_of_name bus with
+  | Error m -> Printf.eprintf "simulate: --bus: %s\n" m; 1
+  | Ok bus ->
   match parse_apps names with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok [] -> prerr_endline "simulate: give at least one application"; 1
@@ -253,6 +277,17 @@ let simulate_cmd_run names disturbances horizon stride csv faults seed monitor =
           let trace, summary =
             Cosim.Engine.run_with_faults ?plan scenario
           in
+          let bus_result =
+            match bus with
+            | None -> Ok None
+            | Some b ->
+              (match Cosim.Engine.replay_on_bus ~bus:b ?plan trace with
+               | r -> Ok (Some r)
+               | exception Invalid_argument m -> Error m)
+          in
+          match bus_result with
+          | Error m -> Printf.eprintf "simulate: --bus: %s\n" m; 1
+          | Ok bus_result ->
           let csv_rc = write_csv_opt csv (Cosim.Export.trace_csv trace) in
           if csv_rc <> 0 then csv_rc
           else begin
@@ -281,9 +316,15 @@ let simulate_cmd_run names disturbances horizon stride csv faults seed monitor =
                   Format.printf "%s disturbed at %d: no settling in horizon@."
                     trace.Cosim.Trace.names.(id) sample)
               trace.Cosim.Trace.disturbances;
+            (match (bus, bus_result) with
+             | Some b, Some r when bus_report_noteworthy b r ->
+               Format.printf "%a@." Cosim.Bus_check.pp r
+             | _ -> ());
             if not monitor then 0
             else begin
-              let report = Cosim.Monitor.check ~summary ~apps trace in
+              let report =
+                Cosim.Monitor.check ~summary ?bus:bus_result ~apps trace
+              in
               Format.printf "@.%a@." Cosim.Monitor.pp report;
               if report.Cosim.Monitor.ok then 0 else 2
             end
@@ -298,11 +339,14 @@ let simulate_cmd_run names disturbances horizon stride csv faults seed monitor =
    pure function of (spec, seed, runs, horizon) — no wall-clock
    quantities are printed — so two runs with the same arguments must be
    byte-identical. *)
-let stress_cmd_run names spec seed runs horizon jobs cache =
+let stress_cmd_run names spec seed runs horizon jobs cache bus =
   apply_jobs jobs;
   let names =
     if names = [] then [ "C1"; "C2"; "C3"; "C4"; "C5"; "C6" ] else names
   in
+  match bus_of_name bus with
+  | Error m -> Printf.eprintf "stress: --bus: %s\n" m; 1
+  | Ok bus ->
   with_pcache cache @@ fun pcache ->
   match parse_apps ?pcache names with
   | Error (`Msg m) -> prerr_endline m; 1
@@ -318,8 +362,8 @@ let stress_cmd_run names spec seed runs horizon jobs cache =
            mapping.Core.Mapping.slots
        in
        (match
-          Cosim.Campaign.run ~spec ~seed:(Int64.of_int seed) ~runs ~horizon
-            slots
+          Cosim.Campaign.run ?bus ~spec ~seed:(Int64.of_int seed) ~runs
+            ~horizon slots
         with
         | Error m -> Printf.eprintf "stress: %s\n" m; 1
         | Ok summary ->
@@ -329,7 +373,10 @@ let stress_cmd_run names spec seed runs horizon jobs cache =
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let sweep_cmd_run name t_w_max t_dw_max csv =
+let sweep_cmd_run name t_w_max t_dw_max csv bus =
+  match bus_of_name bus with
+  | Error m -> Printf.eprintf "sweep: --bus: %s\n" m; 1
+  | Ok bus ->
   match parse_apps [ name ] with
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok [ app ] ->
@@ -348,29 +395,55 @@ let sweep_cmd_run name t_w_max t_dw_max csv =
           Format.printf "%2d %3d %s@." t_w t_dw
             (match j with Some j -> string_of_int j | None -> "-"))
         surface;
+      (* an explicit --bus annotates the surface with the transport the
+         dwell points would ride on: its cycle must out-pace h for the
+         one-sample story to make sense at every (Tw, Tdw) *)
+      Option.iter
+        (fun b ->
+          let h_us =
+            int_of_float ((app.Core.App.plant.Control.Plant.h *. 1e6) +. 0.5)
+          in
+          Format.printf "bus (%s): %s; %d cycle(s) per %d us sample@."
+            (Bus.configured_name b) (Bus.info b)
+            (h_us / Int.max 1 (Bus.cycle_us b))
+            h_us)
+        bus;
       0
     end
   | Ok _ -> 1
 
 (* ------------------------------------------------------------------ *)
-(* flexray *)
+(* bus *)
 
-let flexray_cmd_run () =
-  let cfg = Flexray.Config.default_automotive in
-  Format.printf "%a@." Flexray.Config.pp cfg;
-  let hp =
-    List.init 5 (fun _ ->
-        { Flexray.Wcrt.length_minislots = 20; period_cycles = 5 })
-  in
-  (match Flexray.Wcrt.wcrt_us cfg ~own_id:6 ~own_length:10 hp with
-   | Some w ->
-     Format.printf
-       "control frame (id 6, 10 minislots) under 5 interferers: WCRT = %d us@."
-       w;
-     Format.printf "one-sample-delay assumption at h = 20 ms: %b@."
-       (Flexray.Wcrt.one_sample_delay_ok cfg ~h_us:20_000 ~own_id:6
-          ~own_length:10 hp)
-   | None -> Format.printf "frame can be starved@.");
+(* timing sanity checks for one transport: its default configuration,
+   the WCRT of a control-frame-sized contended message under five
+   interferers of twice that size, and whether the one-sample-delay
+   assumption survives at the case study's h = 20 ms *)
+let bus_info_run name =
+  match bus_of_name (Some name) with
+  | Error m -> Printf.eprintf "bus info: %s\n" m; 1
+  | Ok None -> 1
+  | Ok (Some b) ->
+    Format.printf "%s@." (Bus.info b);
+    let size = Bus.control_frame_size b in
+    let flow = 6 in
+    let hp = List.init 5 (fun _ -> (2 * size, 5 * Bus.cycle_us b)) in
+    (match Bus.wcrt_us b ~flow ~size ~hp with
+     | Some w ->
+       Format.printf
+         "control frame (flow %d, size %d) under 5 interferers: WCRT = %d us@."
+         flow size w;
+       Format.printf "one-sample-delay assumption at h = 20 ms: %b@."
+         (w <= 20_000)
+     | None -> Format.printf "frame can be starved@.");
+    0
+
+let bus_list_run () =
+  List.iter
+    (fun backend ->
+      Format.printf "%-10s %s@." (Bus.name backend)
+        (Bus.info (Bus.default backend)))
+    Backends.all;
   0
 
 (* ------------------------------------------------------------------ *)
@@ -811,14 +884,27 @@ let monitor_arg =
           "Check the trace against the verified guarantees (J*, T*_w, dwell \
            tables); any violation exits 2.")
 
+let bus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bus" ] ~docv:"BACKEND"
+        ~doc:
+          "Replay the run's traffic on a transport backend (see 'cpsdim bus \
+           list') and check the TT-deterministic / ET-one-sample facts the \
+           dimensioning rests on.  The reference backend (flexray) stays \
+           silent when every fact holds; without $(docv) no replay happens \
+           at all.")
+
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Co-simulate a slot group")
     (with_obs "simulate"
        Term.(
-         const (fun names ds horizon stride csv faults seed monitor () ->
-             simulate_cmd_run names ds horizon stride csv faults seed monitor)
+         const (fun names ds horizon stride csv faults seed monitor bus () ->
+             simulate_cmd_run names ds horizon stride csv faults seed monitor
+               bus)
          $ names_arg $ disturbances_arg $ horizon_arg $ stride_arg $ csv_arg
-         $ faults_arg $ sim_seed_arg $ monitor_arg))
+         $ faults_arg $ sim_seed_arg $ monitor_arg $ bus_arg))
 
 let stress_spec_arg =
   Arg.(
@@ -842,10 +928,10 @@ let stress_cmd =
           checked by the guarantee monitor")
     (with_obs "stress"
        Term.(
-         const (fun names spec seed runs horizon jobs cache () ->
-             stress_cmd_run names spec seed runs horizon jobs cache)
+         const (fun names spec seed runs horizon jobs cache bus () ->
+             stress_cmd_run names spec seed runs horizon jobs cache bus)
          $ names_arg $ stress_spec_arg $ sim_seed_arg $ runs_arg
-         $ stress_horizon_arg $ jobs_arg $ cache_arg))
+         $ stress_horizon_arg $ jobs_arg $ cache_arg $ bus_arg))
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Application name.")
@@ -857,12 +943,34 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Settling-time surface J(Tw, Tdw) (Fig. 3)")
     (with_obs "sweep"
        Term.(
-         const (fun name tw tdw csv () -> sweep_cmd_run name tw tdw csv)
-         $ name_arg $ tw_arg $ tdw_arg $ csv_arg))
+         const (fun name tw tdw csv bus () -> sweep_cmd_run name tw tdw csv bus)
+         $ name_arg $ tw_arg $ tdw_arg $ csv_arg $ bus_arg))
 
-let flexray_cmd =
-  Cmd.v (Cmd.info "flexray" ~doc:"FlexRay timing sanity checks")
-    (with_obs "flexray" Term.(const flexray_cmd_run))
+let bus_name_arg =
+  Arg.(
+    value
+    & pos 0 string "flexray"
+    & info [] ~docv:"BACKEND"
+        ~doc:"Transport backend name (default flexray; see 'cpsdim bus list').")
+
+let bus_cmd =
+  let info_cmd =
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:
+           "Timing sanity checks for one transport backend (the former \
+            'cpsdim flexray', generalised)")
+      (with_obs "bus-info"
+         Term.(const (fun name () -> bus_info_run name) $ bus_name_arg))
+  in
+  let list_cmd =
+    Cmd.v
+      (Cmd.info "list" ~doc:"List the registered transport backends")
+      (with_obs "bus-list" Term.(const (fun () -> bus_list_run ())))
+  in
+  Cmd.group
+    (Cmd.info "bus" ~doc:"Inspect the transport backends behind --bus")
+    [ info_cmd; list_cmd ]
 
 let jstar_arg =
   Arg.(value & opt (some int) None & info [ "j" ] ~doc:"Settling budget in samples (defaults to the app's J*).")
@@ -974,4 +1082,4 @@ let () =
     Cmd.info "cpsdim" ~version:"1.0.0"
       ~doc:"Tighter dimensioning of TT slots with control performance guarantees"
   in
-  exit (Cmd.eval' (Cmd.group ~default info [ tables_cmd; verify_cmd; map_cmd; simulate_cmd; stress_cmd; sweep_cmd; flexray_cmd; design_cmd; fleet_cmd; uppaal_cmd; margins_cmd; report_cmd; cache_cmd ]))
+  exit (Cmd.eval' (Cmd.group ~default info [ tables_cmd; verify_cmd; map_cmd; simulate_cmd; stress_cmd; sweep_cmd; bus_cmd; design_cmd; fleet_cmd; uppaal_cmd; margins_cmd; report_cmd; cache_cmd ]))

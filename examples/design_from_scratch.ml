@@ -8,8 +8,8 @@
    4. derive the dwell-time tables and the scheduler-facing timing
       abstraction;
    5. check how many copies of the loop can share one TT slot, and
-      validate the ET one-sample-delay assumption on a FlexRay
-      configuration.
+      validate the ET one-sample-delay assumption on every registered
+      transport backend (FlexRay and TTW).
 
    Run with:  dune exec examples/design_from_scratch.exe *)
 
@@ -61,19 +61,26 @@ let () =
   let group = grow [ a ] 2 in
   Format.printf "copies sharing one TT slot: %d@.@." (List.length group);
 
-  (* 6. is the one-sample ET delay assumption justified on the bus? *)
-  let cfg = Flexray.Config.default_automotive in
-  let interferers =
-    List.init (List.length group) (fun _ ->
-        { Flexray.Wcrt.length_minislots = 12; period_cycles = 4 })
-  in
-  (match
-     Flexray.Wcrt.wcrt_us cfg ~own_id:(List.length group + 1) ~own_length:12
-       interferers
-   with
-   | Some w ->
-     Format.printf "ET worst-case delay on %a:@.  %d us (h = 20000 us) -> %s@."
-       Flexray.Config.pp cfg w
-       (if w <= 20_000 then "one-sample-delay design is sound"
-        else "one-sample-delay design is NOT sound")
-   | None -> Format.printf "ET frame can be starved on this configuration@.")
+  (* 6. is the one-sample ET delay assumption justified on the bus?
+     Every registered transport answers the same question through the
+     generic WCRT query: our flow, one control frame per sampling
+     period, against one interferer of the same shape per group
+     member. *)
+  List.iter
+    (fun backend ->
+      let bus = Bus.default backend in
+      let size = Bus.control_frame_size bus in
+      let interferers =
+        List.init (List.length group) (fun _ -> (size, 4 * Bus.cycle_us bus))
+      in
+      match
+        Bus.wcrt_us bus ~flow:(List.length group + 1) ~size ~hp:interferers
+      with
+      | Some w ->
+        Format.printf "ET worst-case delay on %s:@.  %d us (h = 20000 us) -> %s@."
+          (Bus.info bus) w
+          (if w <= 20_000 then "one-sample-delay design is sound"
+           else "one-sample-delay design is NOT sound")
+      | None ->
+        Format.printf "ET frame can be starved on %s@." (Bus.info bus))
+    Backends.all

@@ -1,0 +1,17 @@
+module Flexray_backend = Flexray_backend
+
+let all : Bus.backend list = [ Flexray_backend.backend; Ttw.Backend.backend ]
+let names () = List.map Bus.name all
+
+let find name =
+  List.find_opt (fun b -> String.equal (Bus.name b) name) all
+
+let get name =
+  match find name with
+  | Some b -> b
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown bus backend %S (available: %s)" name
+         (String.concat ", " (names ())))
+
+let default_of name = Bus.default (get name)

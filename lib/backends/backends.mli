@@ -1,0 +1,16 @@
+(** The transport registry: every built-in {!Bus.BACKEND} keyed by
+    name, so the CLI, tests and benches select backends at runtime
+    ("flexray", "ttw") without naming transport-specific types. *)
+
+module Flexray_backend = Flexray_backend
+
+val all : Bus.backend list
+val names : unit -> string list
+val find : string -> Bus.backend option
+
+val get : string -> Bus.backend
+(** @raise Invalid_argument on an unknown name, listing the known
+    ones. *)
+
+val default_of : string -> Bus.configured
+(** [get] packed with the backend's default configuration. *)

@@ -1,0 +1,83 @@
+(* FlexRay as a Bus.BACKEND: a thin adapter over the cycle-accurate
+   simulator in lib/flexray.  Generic TT channels are static slots,
+   generic ET flows are dynamic frame ids (sizes in minislots), and the
+   mapping is a bijection on message contents, so the loss hook and the
+   reported deliveries translate without any bookkeeping. *)
+
+let to_frame = function
+  | Bus.Tt { channel } -> Flexray.Frame.static ~slot:channel
+  | Bus.Et { flow; size } ->
+    Flexray.Frame.dynamic ~frame_id:flow ~length_minislots:size
+
+let of_message (m : Flexray.Bus.message) : Bus.message =
+  {
+    Bus.cls =
+      (match m.Flexray.Bus.frame with
+       | Flexray.Frame.Static { slot } -> Bus.Tt { channel = slot }
+       | Flexray.Frame.Dynamic { frame_id; length_minislots } ->
+         Bus.Et { flow = frame_id; size = length_minislots });
+    release_us = m.Flexray.Bus.release_us;
+  }
+
+module B = struct
+  let name = "flexray"
+
+  type config = Flexray.Config.t
+
+  (* the phase-aligned configuration the bus-delay check has always
+     used: a 2 ms cycle (10 x 100 us static + 250 x 4 us dynamic) that
+     divides the case study's 20 ms sampling period, so TT slot offsets
+     repeat identically every sample *)
+  let default_config =
+    Flexray.Config.make ~static_slot_count:10 ~static_slot_us:100
+      ~minislot_count:250 ~minislot_us:4
+  let config_info cfg = Format.asprintf "%a" Flexray.Config.pp cfg
+  let cycle_us = Flexray.Config.cycle_us
+  let tt_channels (cfg : config) = cfg.Flexray.Config.static_slot_count
+  let et_capacity (cfg : config) = cfg.Flexray.Config.minislot_count
+
+  (* the 8-minislot control frame the bus-delay check has always
+     budgeted per application *)
+  let control_frame_size (_ : config) = 8
+
+  let simulate ?(loss = Bus.loss_none) cfg ~until_us messages =
+    let fr_messages =
+      List.map
+        (fun (m : Bus.message) ->
+          { Flexray.Bus.frame = to_frame m.Bus.cls; release_us = m.Bus.release_us })
+        messages
+    in
+    let drop fm ~attempt = loss (of_message fm) ~attempt in
+    let o = Flexray.Bus.simulate_outcome ~drop cfg ~until_us fr_messages in
+    {
+      Bus.deliveries =
+        List.map
+          (fun (d : Flexray.Bus.delivery) ->
+            {
+              Bus.message = of_message d.Flexray.Bus.message;
+              delivered_us = d.Flexray.Bus.delivered_us;
+              attempts = d.Flexray.Bus.attempts;
+            })
+          o.Flexray.Bus.deliveries;
+      undelivered =
+        List.map (fun (m, tries) -> (of_message m, tries)) o.Flexray.Bus.undelivered;
+      lost_tx = o.Flexray.Bus.lost_tx;
+    }
+
+  let wcrt_us cfg ~flow ~size ~hp =
+    let cycle = Flexray.Config.cycle_us cfg in
+    let hp =
+      List.map
+        (fun (size, period_us) ->
+          {
+            Flexray.Wcrt.length_minislots = size;
+            period_cycles = Int.max 1 (period_us / cycle);
+          })
+        hp
+    in
+    Flexray.Wcrt.wcrt_us cfg ~own_id:flow ~own_length:size hp
+end
+
+let backend : Bus.backend = (module B)
+let configured cfg : Bus.configured = Bus.Configured ((module B), cfg)
+let default : Bus.configured = Bus.default backend

@@ -1,0 +1,118 @@
+type cls = Tt of { channel : int } | Et of { flow : int; size : int }
+type message = { cls : cls; release_us : int }
+type delivery = { message : message; delivered_us : int; attempts : int }
+
+type outcome = {
+  deliveries : delivery list;
+  undelivered : (message * int) list;
+  lost_tx : int;
+}
+
+type loss = message -> attempt:int -> bool
+
+module type BACKEND = sig
+  val name : string
+
+  type config
+
+  val default_config : config
+  val config_info : config -> string
+  val cycle_us : config -> int
+  val tt_channels : config -> int
+  val et_capacity : config -> int
+  val control_frame_size : config -> int
+
+  val simulate :
+    ?loss:loss -> config -> until_us:int -> message list -> outcome
+
+  val wcrt_us :
+    config -> flow:int -> size:int -> hp:(int * int) list -> int option
+end
+
+type backend = (module BACKEND)
+
+type configured =
+  | Configured : (module BACKEND with type config = 'c) * 'c -> configured
+
+(* -------------------------------------------------------------- *)
+(* Message constructors *)
+
+let tt ~channel ~release_us =
+  if channel < 0 then invalid_arg "Bus.tt: negative channel";
+  if release_us < 0 then invalid_arg "Bus.tt: negative release";
+  { cls = Tt { channel }; release_us }
+
+let et ?(size = 1) ~flow ~release_us () =
+  if flow < 1 then invalid_arg "Bus.et: flow ids are 1-based";
+  if size < 1 then invalid_arg "Bus.et: empty frame";
+  if release_us < 0 then invalid_arg "Bus.et: negative release";
+  { cls = Et { flow; size }; release_us }
+
+let delay_us d = d.delivered_us - d.message.release_us
+
+(* -------------------------------------------------------------- *)
+(* First-class backend helpers *)
+
+let name (module B : BACKEND) = B.name
+let default ((module B : BACKEND) as _b) = Configured ((module B), B.default_config)
+let configured_name (Configured ((module B), _)) = B.name
+let info (Configured ((module B), cfg)) = B.config_info cfg
+let cycle_us (Configured ((module B), cfg)) = B.cycle_us cfg
+let tt_channels (Configured ((module B), cfg)) = B.tt_channels cfg
+let et_capacity (Configured ((module B), cfg)) = B.et_capacity cfg
+
+let control_frame_size (Configured ((module B), cfg)) =
+  B.control_frame_size cfg
+
+let simulate ?loss (Configured ((module B), cfg)) ~until_us messages =
+  B.simulate ?loss cfg ~until_us messages
+
+let wcrt_us (Configured ((module B), cfg)) ~flow ~size ~hp =
+  B.wcrt_us cfg ~flow ~size ~hp
+
+(* -------------------------------------------------------------- *)
+(* Loss hooks.  Each is a pure function of (message, attempt): the
+   randomized ones re-derive a child PRNG stream per query instead of
+   advancing shared state, so two backends (or two simulation orders)
+   see identical losses for identical traffic. *)
+
+let loss_none _ ~attempt:_ = false
+
+let loss_of_plan ~h_us (plan : Faults.Plan.t) m ~attempt =
+  if attempt <> 1 then false
+  else
+    match m.cls with
+    | Tt _ -> false
+    | Et { flow; _ } ->
+      let id = flow - 1 and k = m.release_us / h_us in
+      id < Array.length plan.Faults.Plan.et_loss
+      && k < plan.Faults.Plan.horizon
+      && plan.Faults.Plan.et_loss.(id).(k)
+
+(* distinct stream tags for the two message classes so a TT channel
+   and an ET flow with the same index never share fades *)
+let cls_tag = function
+  | Tt { channel } -> (2 * channel) + 1
+  | Et { flow; _ } -> 2 * flow
+
+let loss_bernoulli ~seed ~p m ~attempt =
+  let rng =
+    Faults.Prng.create seed
+    |> fun t ->
+    Faults.Prng.split t (cls_tag m.cls)
+    |> fun t ->
+    Faults.Prng.split t m.release_us |> fun t -> Faults.Prng.split t attempt
+  in
+  Faults.Prng.bernoulli rng ~p
+
+let loss_burst ~seed ~p ~len m ~attempt =
+  if len < 1 then invalid_arg "Bus.loss_burst: len < 1";
+  attempt <= len
+  &&
+  let rng =
+    Faults.Prng.create seed
+    |> fun t ->
+    Faults.Prng.split t (cls_tag m.cls)
+    |> fun t -> Faults.Prng.split t m.release_us
+  in
+  Faults.Prng.bernoulli rng ~p

@@ -32,6 +32,7 @@ val verify :
   ?max_states:int ->
   ?deadline:float ->
   ?inclusion:bool ->
+  ?prefilter:bool ->
   Sched.Appspec.t array ->
   result
 (** Zone-based model checking of the group (default cap 2,000,000
@@ -40,7 +41,11 @@ val verify :
     answer is order-independent.
     [inclusion] (default [false]) switches {!Ta.Reach.run} to
     zone-inclusion pruning; the tick-driven zones of this model are
-    point-like, so exact matching is usually faster. *)
+    point-like, so exact matching is usually faster.
+    [prefilter] (default [false]) consults the verdict-preserving
+    analytic screen ({!Sched.Prefilter.decide}) first: a group it
+    decides never builds the zone graph and reports all-zero
+    {!Ta.Reach.stats}. *)
 
 (** Store layout (exposed for white-box tests). *)
 module Layout : sig

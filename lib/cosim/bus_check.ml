@@ -1,4 +1,5 @@
 type result = {
+  backend : string;
   messages : int;
   delivered : int;
   tt_count : int;
@@ -9,23 +10,18 @@ type result = {
   tt_deterministic : bool;
   one_sample_ok : bool;
   all_delivered : bool;
+  lost_tx : int;
+  et_overruns : int;
+  max_attempts : int;
 }
 
-let default_config =
-  Flexray.Config.make ~static_slot_count:10 ~static_slot_us:100
-    ~minislot_count:250 ~minislot_us:4
-
-let frame_length_minislots = 8
-
-let validate ?(config = default_config) ?(h_us = 20_000) (report : System.report) =
-  let groups = report.System.slots in
-  if List.length groups > config.Flexray.Config.static_slot_count then
-    invalid_arg "Bus_check.validate: more groups than static slots";
+let validate_slots ~bus ?(loss = Bus.loss_none) ?(h_us = 20_000) groups =
+  if List.length groups > Bus.tt_channels bus then
+    invalid_arg "Bus_check.validate: more groups than TT channels";
+  let frame_size = Bus.control_frame_size bus in
   let all_names = List.concat_map fst groups in
-  if
-    config.Flexray.Config.minislot_count
-    < frame_length_minislots + List.length all_names
-  then invalid_arg "Bus_check.validate: dynamic segment too small";
+  if Bus.et_capacity bus < frame_size + List.length all_names then
+    invalid_arg "Bus_check.validate: contended segment too small";
   let frame_id name =
     let rec go i = function
       | [] -> invalid_arg "Bus_check: unknown app"
@@ -46,38 +42,32 @@ let validate ?(config = default_config) ?(h_us = 20_000) (report : System.report
         Array.iteri
           (fun local name ->
             let release_us = k * h_us in
-            let frame =
+            let m =
               if trace.Trace.owner.(k) = Some local then
-                Flexray.Frame.static ~slot:slot_index
+                Bus.tt ~channel:slot_index ~release_us
               else
-                Flexray.Frame.dynamic ~frame_id:(frame_id name)
-                  ~length_minislots:frame_length_minislots
+                Bus.et ~flow:(frame_id name) ~size:frame_size ~release_us ()
             in
-            messages := { Flexray.Bus.frame; release_us } :: !messages)
+            messages := m :: !messages)
           names
       done)
     groups;
   let messages = List.rev !messages in
-  let deliveries =
-    Flexray.Bus.simulate config
-      ~until_us:((horizon + 2) * h_us)
-      messages
+  let outcome =
+    Bus.simulate ~loss bus ~until_us:((horizon + 2) * h_us) messages
   in
-  let classify d =
-    match d.Flexray.Bus.message.Flexray.Bus.frame with
-    | Flexray.Frame.Static { slot } -> `Tt (slot, Flexray.Bus.delay_us d)
-    | Flexray.Frame.Dynamic _ -> `Et (Flexray.Bus.delay_us d)
-  in
+  let deliveries = outcome.Bus.deliveries in
   let tt_per_slot = Hashtbl.create 8 in
   let tt = ref [] and et = ref [] in
   List.iter
-    (fun d ->
-      match classify d with
-      | `Tt (slot, x) ->
+    (fun (d : Bus.delivery) ->
+      match d.Bus.message.Bus.cls with
+      | Bus.Tt { channel } ->
+        let x = Bus.delay_us d in
         tt := x :: !tt;
-        Hashtbl.replace tt_per_slot slot
-          (x :: Option.value ~default:[] (Hashtbl.find_opt tt_per_slot slot))
-      | `Et x -> et := x :: !et)
+        Hashtbl.replace tt_per_slot channel
+          (x :: Option.value ~default:[] (Hashtbl.find_opt tt_per_slot channel))
+      | Bus.Et _ -> et := Bus.delay_us d :: !et)
     deliveries;
   let bounds = function
     | [] -> (0, 0)
@@ -85,7 +75,14 @@ let validate ?(config = default_config) ?(h_us = 20_000) (report : System.report
       List.fold_left (fun (lo, hi) v -> (Int.min lo v, Int.max hi v)) (x, x) rest
   in
   let tt_delay_us = bounds !tt and et_delay_us = bounds !et in
+  let et_undelivered =
+    List.exists
+      (fun ((m : Bus.message), _) ->
+        match m.Bus.cls with Bus.Et _ -> true | Bus.Tt _ -> false)
+      outcome.Bus.undelivered
+  in
   {
+    backend = Bus.configured_name bus;
     messages = List.length messages;
     delivered = List.length deliveries;
     tt_count = List.length !tt;
@@ -93,8 +90,8 @@ let validate ?(config = default_config) ?(h_us = 20_000) (report : System.report
     tt_delay_us;
     et_delay_us;
     h_us;
-    (* a TT slot is deterministic when every delivery through it has
-       the same latency; different slots naturally differ by their
+    (* a TT channel is deterministic when every delivery through it has
+       the same latency; different channels naturally differ by their
        position in the cycle *)
     tt_deterministic =
       Hashtbl.fold
@@ -104,15 +101,36 @@ let validate ?(config = default_config) ?(h_us = 20_000) (report : System.report
               | [] -> true
               | x :: rest -> List.for_all (Int.equal x) rest))
         tt_per_slot true;
-    one_sample_ok = snd et_delay_us <= h_us;
+    one_sample_ok = snd et_delay_us <= h_us && not et_undelivered;
     all_delivered = List.length deliveries = List.length messages;
+    lost_tx = outcome.Bus.lost_tx;
+    et_overruns =
+      List.length
+        (List.filter
+           (fun (d : Bus.delivery) ->
+             match d.Bus.message.Bus.cls with
+             | Bus.Et _ -> Bus.delay_us d > h_us
+             | Bus.Tt _ -> false)
+           deliveries);
+    max_attempts =
+      List.fold_left
+        (fun acc (d : Bus.delivery) -> Int.max acc d.Bus.attempts)
+        (List.fold_left
+           (fun acc (_, tries) -> Int.max acc tries)
+           0 outcome.Bus.undelivered)
+        deliveries;
   }
+
+let facts_hold r = r.tt_deterministic && r.one_sample_ok && r.all_delivered
 
 let pp ppf r =
   Format.fprintf ppf
-    "@[<v>%d messages, %d delivered (%d TT, %d ET)@,\
+    "@[<v>bus (%s): %d messages, %d delivered (%d TT, %d ET)@,\
      TT delay: %d..%d us (deterministic: %b)@,\
-     ET delay: %d..%d us (one-sample bound %d us: %b)@]"
-    r.messages r.delivered r.tt_count r.et_count (fst r.tt_delay_us)
-    (snd r.tt_delay_us) r.tt_deterministic (fst r.et_delay_us)
-    (snd r.et_delay_us) r.h_us r.one_sample_ok
+     ET delay: %d..%d us (one-sample bound %d us: %b)@,\
+     losses: %d transmission(s) destroyed, %d undelivered, %d ET \
+     overrun(s), max %d attempt(s)@]"
+    r.backend r.messages r.delivered r.tt_count r.et_count
+    (fst r.tt_delay_us) (snd r.tt_delay_us) r.tt_deterministic
+    (fst r.et_delay_us) (snd r.et_delay_us) r.h_us r.one_sample_ok r.lost_tx
+    (r.messages - r.delivered) r.et_overruns r.max_attempts

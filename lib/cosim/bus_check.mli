@@ -1,44 +1,52 @@
-(** Bus-level validation of a mapped system.
+(** Bus-level validation of a co-simulated system, over any transport.
 
     The control layer relies on exactly two facts about the network:
-    TT messages (static slots) arrive with a fixed, negligible delay,
-    and ET messages (dynamic segment) arrive within one sampling period
-    even in the worst case.  This module re-plays a co-simulated system
-    as actual FlexRay traffic — every application transmits one control
-    message per sample, in its group's static slot while it owns it and
-    on the dynamic segment otherwise — runs the cycle-accurate bus
-    simulator, and checks both facts on the measured delays. *)
+    TT messages (reserved channels) arrive with a fixed, negligible
+    delay, and ET messages (contended traffic) arrive within one
+    sampling period even in the worst case.  This module re-plays slot
+    traces as actual bus traffic — every application transmits one
+    control message per sample, on its group's TT channel while it owns
+    the slot and as a contended flow otherwise — runs the backend's
+    cycle-accurate simulator, and checks both facts on the measured
+    delays.  An optional {!Bus.loss} hook injects medium loss, whose
+    effect (retransmission delay, undelivered messages) is accounted in
+    the result. *)
 
 type result = {
+  backend : string;  (** transport that carried the traffic *)
   messages : int;  (** messages offered to the bus *)
   delivered : int;
   tt_count : int;
   et_count : int;
-  tt_delay_us : int * int;  (** (min, max) measured static delays *)
-  et_delay_us : int * int;  (** (min, max) measured dynamic delays *)
+  tt_delay_us : int * int;  (** (min, max) measured TT delays *)
+  et_delay_us : int * int;  (** (min, max) measured ET delays *)
   h_us : int;
   tt_deterministic : bool;
-      (** within each static slot, every delivery has the same latency *)
-  one_sample_ok : bool;  (** every dynamic delay fits one period *)
+      (** within each TT channel, every delivery has the same latency *)
+  one_sample_ok : bool;
+      (** every delivered ET delay fits one period and no ET message
+          was left undelivered *)
   all_delivered : bool;
+  lost_tx : int;  (** transmissions destroyed by the loss hook *)
+  et_overruns : int;  (** delivered ET messages later than one period *)
+  max_attempts : int;  (** worst retransmission count over all traffic *)
 }
 
-val default_config : Flexray.Config.t
-(** A configuration whose cycle divides the 20 ms sampling period
-    (10 x 100 µs static + 250 x 4 µs dynamic = 2 ms), so sampling
-    instants stay phase-aligned with the TDMA schedule, as the paper's
-    negligible-TT-delay assumption requires. *)
-
-val validate :
-  ?config:Flexray.Config.t ->
+val validate_slots :
+  bus:Bus.configured ->
+  ?loss:Bus.loss ->
   ?h_us:int ->
-  System.report ->
+  (string list * Trace.t) list ->
   result
-(** Replay a system report on the bus.  The static slot of group [i]
-    is slot [i]; dynamic frame ids follow the system-wide application
-    order (1-based).
-    @raise Invalid_argument when the configuration has fewer static
-    slots than the report has groups, or the dynamic segment cannot
-    carry one frame per application. *)
+(** Replay per-slot traces on the bus.  The TT channel of group [i] is
+    channel [i]; ET flow ids follow the system-wide application order
+    (1-based), matching the fault plan's app indexing so
+    {!Bus.loss_of_plan} lines up.
+    @raise Invalid_argument when the backend has fewer TT channels
+    than there are groups, or its contended segment cannot carry one
+    control frame per application. *)
+
+val facts_hold : result -> bool
+(** The two control-layer facts plus full delivery. *)
 
 val pp : Format.formatter -> result -> unit

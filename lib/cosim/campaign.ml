@@ -10,6 +10,9 @@ type slot_summary = {
   blackout_samples : int;
   et_losses : int;
   sensor_drops : int;
+  bus_lost_tx : int;
+  bus_undelivered : int;
+  bus_overruns : int;
 }
 
 type summary = {
@@ -18,6 +21,7 @@ type summary = {
   horizon : int;
   slots : slot_summary list;
   total_violations : int;
+  bus_backend : string option;
 }
 
 (* a random admissible disturbance schedule: each application's
@@ -48,9 +52,12 @@ type trial = {
   t_blackout : int;
   t_losses : int;
   t_drops : int;
+  t_bus_lost : int;
+  t_bus_undelivered : int;
+  t_bus_overruns : int;
 }
 
-let run ?pool ?policy ?threshold ~spec ~seed ~runs ~horizon slots =
+let run ?pool ?policy ?threshold ?bus ~spec ~seed ~runs ~horizon slots =
   if runs < 1 then invalid_arg "Campaign.run: runs must be positive";
   if horizon < 1 then invalid_arg "Campaign.run: horizon must be positive";
   let pool = match pool with Some p -> p | None -> Par.Pool.default () in
@@ -76,21 +83,43 @@ let run ?pool ?policy ?threshold ~spec ~seed ~runs ~horizon slots =
     let result =
       match Faults.Plan.materialize ~spec ~seed:plan_seed ~apps:names ~horizon with
       | Error e -> Error e
-      | Ok plan ->
+      | Ok plan -> (
         let trace, fault_summary = Engine.run_with_faults ?policy ~plan scenario in
-        let report = Monitor.check ?threshold ~summary:fault_summary ~apps trace in
-        Ok
-          {
-            t_clean = report.Monitor.ok;
-            t_settling = Monitor.count report `Settling;
-            t_wait = Monitor.count report `Wait;
-            t_dwell = Monitor.count report `Dwell;
-            t_suppressed = Monitor.count report `Suppressed;
-            t_injected = List.length fault_summary.Engine.injected;
-            t_blackout = fault_summary.Engine.blackout_samples;
-            t_losses = fault_summary.Engine.et_losses;
-            t_drops = fault_summary.Engine.sensor_drops;
-          }
+        (* the same plan that shaped the control run drives the medium's
+           loss hook, so link loss and held actuations tell one story *)
+        match
+          Option.map (fun b -> Engine.replay_on_bus ~bus:b ~plan trace) bus
+        with
+        | exception Invalid_argument e -> Error e
+        | bus_result ->
+          let report =
+            Monitor.check ?threshold ~summary:fault_summary ?bus:bus_result
+              ~apps trace
+          in
+          Ok
+            {
+              t_clean = report.Monitor.ok;
+              t_settling = Monitor.count report `Settling;
+              t_wait = Monitor.count report `Wait;
+              t_dwell = Monitor.count report `Dwell;
+              t_suppressed = Monitor.count report `Suppressed;
+              t_injected = List.length fault_summary.Engine.injected;
+              t_blackout = fault_summary.Engine.blackout_samples;
+              t_losses = fault_summary.Engine.et_losses;
+              t_drops = fault_summary.Engine.sensor_drops;
+              t_bus_lost =
+                (match bus_result with
+                 | Some r -> r.Bus_check.lost_tx
+                 | None -> 0);
+              t_bus_undelivered =
+                (match bus_result with
+                 | Some r -> r.Bus_check.messages - r.Bus_check.delivered
+                 | None -> 0);
+              t_bus_overruns =
+                (match bus_result with
+                 | Some r -> r.Bus_check.et_overruns
+                 | None -> 0);
+            })
     in
     (* Emitted from whichever domain ran the trial; (slot, run, clean)
        are pure functions of the seed, so the event multiset is
@@ -131,6 +160,9 @@ let run ?pool ?policy ?threshold ~spec ~seed ~runs ~horizon slots =
                 blackout_samples = 0;
                 et_losses = 0;
                 sensor_drops = 0;
+                bus_lost_tx = 0;
+                bus_undelivered = 0;
+                bus_overruns = 0;
               }
           in
           for k = 0 to runs - 1 do
@@ -152,6 +184,9 @@ let run ?pool ?policy ?threshold ~spec ~seed ~runs ~horizon slots =
                   blackout_samples = a.blackout_samples + t.t_blackout;
                   et_losses = a.et_losses + t.t_losses;
                   sensor_drops = a.sensor_drops + t.t_drops;
+                  bus_lost_tx = a.bus_lost_tx + t.t_bus_lost;
+                  bus_undelivered = a.bus_undelivered + t.t_bus_undelivered;
+                  bus_overruns = a.bus_overruns + t.t_bus_overruns;
                 }
           done;
           !acc)
@@ -166,7 +201,15 @@ let run ?pool ?policy ?threshold ~spec ~seed ~runs ~horizon slots =
       Obs.Metric.count "campaign.runs" (runs * n_slots);
       Obs.Metric.count "campaign.violations" total_violations
     end;
-    Ok { seed; spec; horizon; slots = slot_summaries; total_violations }
+    Ok
+      {
+        seed;
+        spec;
+        horizon;
+        slots = slot_summaries;
+        total_violations;
+        bus_backend = Option.map Bus.configured_name bus;
+      }
   with Materialize e -> Error e
 
 let pp ppf s =
@@ -191,4 +234,17 @@ let pp ppf s =
   Format.fprintf ppf
     "@,faults injected: %d blackout sample(s), %d ET loss(es), %d sensor drop(s)@,"
     blackout losses drops;
+  (match s.bus_backend with
+   | None -> ()
+   | Some name ->
+     let lost = List.fold_left (fun t g -> t + g.bus_lost_tx) 0 s.slots in
+     let undeliv = List.fold_left (fun t g -> t + g.bus_undelivered) 0 s.slots in
+     let over = List.fold_left (fun t g -> t + g.bus_overruns) 0 s.slots in
+     (* the reference transport stays silent when nothing went wrong so
+        a campaign replayed on it prints exactly what it printed before
+        the transport seam existed *)
+     if (not (String.equal name "flexray")) || lost + undeliv + over > 0 then
+       Format.fprintf ppf
+         "bus (%s): %d lost transmission(s), %d undelivered, %d one-sample overrun(s)@,"
+         name lost undeliv over);
   Format.fprintf ppf "total guarantee violations: %d@]" s.total_violations

@@ -20,6 +20,9 @@ type slot_summary = {
   blackout_samples : int;
   et_losses : int;
   sensor_drops : int;
+  bus_lost_tx : int;  (** transmissions destroyed on the medium *)
+  bus_undelivered : int;  (** messages never delivered within the replay *)
+  bus_overruns : int;  (** ET deliveries later than one sampling period *)
 }
 
 type summary = {
@@ -28,12 +31,15 @@ type summary = {
   horizon : int;
   slots : slot_summary list;
   total_violations : int;
+  bus_backend : string option;
+      (** name of the transport each trial was replayed on, when any *)
 }
 
 val run :
   ?pool:Par.Pool.t ->
   ?policy:Sched.Slot_state.policy ->
   ?threshold:float ->
+  ?bus:Bus.configured ->
   spec:Faults.Spec.t ->
   seed:int64 ->
   runs:int ->
@@ -41,7 +47,13 @@ val run :
   Core.App.t list list ->
   (summary, string) result
 (** [Error] reports a spec that does not materialise against a slot
-    group (e.g. an unknown application name).
+    group (e.g. an unknown application name) or, with [bus], a backend
+    too small for a slot group.
+
+    With [bus], every trial's trace is additionally replayed on that
+    transport ({!Engine.replay_on_bus}) under the trial's own fault
+    plan; broken transport facts count the run as not clean and the
+    loss totals land in the [bus_*] fields.
 
     With [pool] (default {!Par.Pool.default}) sized above 1, trials are
     sharded across domains; each trial derives its streams from its own

@@ -179,3 +179,17 @@ let run_with_faults ?policy ?plan (scenario : Scenario.t) =
     } )
 
 let run ?policy scenario = fst (run_with_faults ?policy scenario)
+
+let replay_on_bus ~bus ?plan (trace : Trace.t) =
+  let h_us =
+    let us = int_of_float ((trace.Trace.h *. 1e6) +. 0.5) in
+    if us <= 0 then invalid_arg "Engine.replay_on_bus: non-positive period";
+    us
+  in
+  let loss =
+    match plan with
+    | None -> Bus.loss_none
+    | Some p -> Bus.loss_of_plan ~h_us p
+  in
+  Bus_check.validate_slots ~bus ~loss ~h_us
+    [ (Array.to_list trace.Trace.names, trace) ]

@@ -51,3 +51,13 @@ val run_with_faults :
     the same code.
     @raise Invalid_argument when the plan's horizon or application
     count does not match the scenario. *)
+
+val replay_on_bus :
+  bus:Bus.configured -> ?plan:Faults.Plan.t -> Trace.t -> Bus_check.result
+(** Replay one scenario's traffic on the chosen transport.  The
+    sampling period comes from the trace; when [plan] is given its
+    ET-loss masks drive the medium's loss hook ({!Bus.loss_of_plan}),
+    so the link-layer story matches what the control layer already
+    suffered.  @raise Invalid_argument on a non-positive period or a
+    backend too small for the scenario (see
+    {!Bus_check.validate_slots}). *)

@@ -7,7 +7,7 @@ type violation =
 
 type app_verdict = { name : string; violations : violation list }
 
-type report = { verdicts : app_verdict list; ok : bool }
+type report = { verdicts : app_verdict list; bus_ok : bool; ok : bool }
 
 let violation_sample = function
   | Settling_exceeded { sample; _ }
@@ -78,7 +78,7 @@ let dwell_violations (trace : Trace.t) (spec : Sched.Appspec.t) id =
   in
   scan None [] trace.Trace.log
 
-let check ?threshold ?(summary = Engine.no_faults) ~apps (trace : Trace.t) =
+let check ?threshold ?(summary = Engine.no_faults) ?bus ~apps (trace : Trace.t) =
   let apps = Array.of_list apps in
   let n = Array.length apps in
   if n <> Array.length trace.Trace.names then
@@ -110,7 +110,12 @@ let check ?threshold ?(summary = Engine.no_faults) ~apps (trace : Trace.t) =
         in
         { name = apps.(id).Core.App.name; violations })
   in
-  let ok = List.for_all (fun v -> v.violations = []) verdicts in
+  let bus_ok =
+    match (bus : Bus_check.result option) with
+    | None -> true
+    | Some r -> Bus_check.facts_hold r
+  in
+  let ok = List.for_all (fun v -> v.violations = []) verdicts && bus_ok in
   if Obs.Trace_ctx.enabled () then begin
     let count kind =
       List.fold_left
@@ -133,7 +138,7 @@ let check ?threshold ?(summary = Engine.no_faults) ~apps (trace : Trace.t) =
     Obs.Metric.count "monitor.dwell_violations" (count `Dwell);
     Obs.Metric.count "monitor.suppressed" (count `Suppressed)
   end;
-  { verdicts; ok }
+  { verdicts; bus_ok; ok }
 
 let total_violations r =
   List.fold_left (fun acc v -> acc + List.length v.violations) 0 r.verdicts
@@ -181,4 +186,6 @@ let pp ppf r =
         Format.fprintf ppf "%-10s %d violation(s)@," v.name (List.length vs);
         List.iter (fun viol -> Format.fprintf ppf "  - %a@," pp_violation viol) vs)
     r.verdicts;
+  if not r.bus_ok then
+    Format.fprintf ppf "bus        transport guarantees broken@,";
   Format.fprintf ppf "verdict: %s@]" (if r.ok then "ALL GUARANTEES HELD" else "VIOLATED")

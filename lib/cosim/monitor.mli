@@ -35,18 +35,24 @@ type app_verdict = {
 
 type report = {
   verdicts : app_verdict list;  (** one per application, in id order *)
-  ok : bool;  (** no violations anywhere *)
+  bus_ok : bool;
+      (** the transport-level facts held (always [true] without a bus
+          replay) *)
+  ok : bool;  (** no violations anywhere, bus included *)
 }
 
 val check :
   ?threshold:float ->
   ?summary:Engine.fault_summary ->
+  ?bus:Bus_check.result ->
   apps:Core.App.t list ->
   Trace.t ->
   report
 (** Run all watchdogs over the trace.  [summary] (from
     {!Engine.run_with_faults}) contributes the suppressed-arrival
     verdicts; without it only trace-derivable violations are reported.
+    [bus] (from {!Engine.replay_on_bus}) adds the transport-level
+    watchdog: the TT/ET delay facts must survive the replayed traffic.
     Emits [monitor.*] metrics to {!Obs} when observability is on. *)
 
 val total_violations : report -> int

@@ -57,6 +57,9 @@ let run ?policy ~slots ~disturbances ~horizon () =
     tt_samples;
   }
 
+let bus_validate ~bus ?loss ?h_us t =
+  Bus_check.validate_slots ~bus ?loss ?h_us t.slots
+
 let of_mapping ?policy (outcome : Core.Mapping.outcome) ~disturbances ~horizon =
   run ?policy
     ~slots:(List.map (fun s -> s.Core.Mapping.apps) outcome.Core.Mapping.slots)

@@ -27,6 +27,11 @@ val run :
     app present in two slots, or invalid per-slot scenarios (see
     {!Scenario.make}). *)
 
+val bus_validate :
+  bus:Bus.configured -> ?loss:Bus.loss -> ?h_us:int -> report -> Bus_check.result
+(** Replay the whole system's traffic on the chosen transport (see
+    {!Bus_check.validate_slots}). *)
+
 val of_mapping :
   ?policy:Sched.Slot_state.policy ->
   Core.Mapping.outcome ->

@@ -67,6 +67,17 @@ let materialize ~spec ~seed ~apps ~horizon =
           if Prng.bernoulli rng ~p then plan.et_loss.(id).(k) <- true
         done;
         Ok ()
+      | Spec.Link_loss_random { p } ->
+        (* one sub-stream per application so the mask of app [id] does
+           not shift when applications are added after it *)
+        Array.iteri
+          (fun id _ ->
+            let rng = Prng.split rng id in
+            for k = 0 to horizon - 1 do
+              if Prng.bernoulli rng ~p then plan.et_loss.(id).(k) <- true
+            done)
+          apps;
+        Ok ()
       | Spec.Sensor_drop_at { app; sample } ->
         let* id = app_id apps app in
         let* () = in_horizon sample ~horizon ~what:"drop" in

@@ -3,6 +3,7 @@ type clause =
   | Blackout_random of { p : float; len : int }
   | Et_loss_at of { app : string; sample : int }
   | Et_loss_random of { app : string; p : float }
+  | Link_loss_random of { p : float }
   | Sensor_drop_at of { app : string; sample : int }
   | Sensor_drop_random of { app : string; p : float }
   | Burst of { app : string; start : int; count : int }
@@ -105,8 +106,13 @@ let parse_clause s =
        parse_per_app body ~clause:"drop"
          ~at:(fun app sample -> Sensor_drop_at { app; sample })
          ~random:(fun app p -> Sensor_drop_random { app; p })
+     | "link" ->
+       if starts_with ~prefix:"p=" body then
+         let* p = prob_of (after ~prefix:"p=" body) in
+         Ok (Link_loss_random { p })
+       else err "link wants p=P: %S" body
      | "burst" -> parse_burst body
-     | k -> err "unknown fault kind %S (want blackout|loss|drop|burst)" k)
+     | k -> err "unknown fault kind %S (want blackout|loss|link|drop|burst)" k)
 
 let parse s =
   let pieces =
@@ -129,6 +135,7 @@ let clause_to_string = function
   | Blackout_random { p; len } -> Printf.sprintf "blackout:p=%g,len=%d" p len
   | Et_loss_at { app; sample } -> Printf.sprintf "loss:%s@%d" app sample
   | Et_loss_random { app; p } -> Printf.sprintf "loss:%s@p=%g" app p
+  | Link_loss_random { p } -> Printf.sprintf "link:p=%g" p
   | Sensor_drop_at { app; sample } -> Printf.sprintf "drop:%s@%d" app sample
   | Sensor_drop_random { app; p } -> Printf.sprintf "drop:%s@p=%g" app p
   | Burst { app; start; count } -> Printf.sprintf "burst:%s@%dx%d" app start count
@@ -137,5 +144,6 @@ let to_string t = String.concat ";" (List.map clause_to_string t)
 
 let is_random =
   List.exists (function
-    | Blackout_random _ | Et_loss_random _ | Sensor_drop_random _ -> true
+    | Blackout_random _ | Et_loss_random _ | Link_loss_random _
+    | Sensor_drop_random _ -> true
     | Blackout_window _ | Et_loss_at _ | Sensor_drop_at _ | Burst _ -> false)

@@ -9,6 +9,9 @@
     loss:APP@K              APP's ET message at sample K is lost
                             (actuator holds its last value one sample)
     loss:APP@p=P            each ET sample of APP is lost with prob. P
+    link:p=P                the shared medium is lossy: every
+                            application's ET sample is lost
+                            independently with probability P
     drop:APP@K              APP's sensor sample K is dropped
                             (controller holds the last measurement)
     drop:APP@p=P            each sensor sample dropped with prob. P
@@ -27,6 +30,8 @@ type clause =
   | Blackout_random of { p : float; len : int }
   | Et_loss_at of { app : string; sample : int }
   | Et_loss_random of { app : string; p : float }
+  | Link_loss_random of { p : float }
+      (** medium-wide loss: hits every application's ET traffic *)
   | Sensor_drop_at of { app : string; sample : int }
   | Sensor_drop_random of { app : string; p : float }
   | Burst of { app : string; start : int; count : int }

@@ -1,10 +1,26 @@
 type message = { frame : Frame.t; release_us : int }
+type delivery = { message : message; delivered_us : int; attempts : int }
 
-type delivery = { message : message; delivered_us : int }
+type outcome = {
+  deliveries : delivery list;
+  undelivered : (message * int) list;
+  lost_tx : int;
+}
+
+type drop = message -> attempt:int -> bool
 
 let delay_us d = d.delivered_us - d.message.release_us
+let no_drop _ ~attempt:_ = false
 
-let simulate config ~until_us messages =
+(* one mutable job per submitted message: transmission attempts burned
+   so far, and when (if ever) the message made it onto the bus *)
+type job = {
+  msg : message;
+  mutable tries : int;
+  mutable delivered_at : int option;
+}
+
+let simulate_outcome ?(drop = no_drop) config ~until_us messages =
   List.iter
     (fun m ->
       if m.release_us < 0 then invalid_arg "Bus.simulate: negative release";
@@ -16,63 +32,84 @@ let simulate config ~until_us messages =
         if length_minislots > config.Config.minislot_count then
           invalid_arg "Bus.simulate: dynamic frame exceeds the segment")
     messages;
+  let jobs =
+    List.map (fun m -> { msg = m; tries = 0; delivered_at = None }) messages
+  in
   let cycle_us = Config.cycle_us config in
   let cycles = (until_us / cycle_us) + 1 in
-  let deliveries = ref [] in
+  let deliveries = ref [] and lost_tx = ref 0 in
+  (* a transmission opportunity for [j]: burn an attempt, ask the loss
+     hook, and either deliver or leave the job queued for the next one *)
+  let attempt j ~finish =
+    j.tries <- j.tries + 1;
+    if drop j.msg ~attempt:j.tries then begin
+      incr lost_tx;
+      false
+    end
+    else begin
+      j.delivered_at <- Some finish;
+      deliveries :=
+        { message = j.msg; delivered_us = finish; attempts = j.tries }
+        :: !deliveries;
+      true
+    end
+  in
   (* static messages, per slot, oldest first *)
   let static_queue = Hashtbl.create 8 in
   List.iter
-    (fun m ->
-      match m.frame with
+    (fun j ->
+      match j.msg.frame with
       | Frame.Static { slot } ->
         Hashtbl.replace static_queue slot
-          (m :: Option.value ~default:[] (Hashtbl.find_opt static_queue slot))
+          (j :: Option.value ~default:[] (Hashtbl.find_opt static_queue slot))
       | Frame.Dynamic _ -> ())
-    messages;
+    jobs;
   Hashtbl.iter
     (fun slot q ->
       Hashtbl.replace static_queue slot
-        (List.sort (fun a b -> compare a.release_us b.release_us) q))
+        (List.sort (fun a b -> compare a.msg.release_us b.msg.release_us) q))
     static_queue;
   (* dynamic messages sorted by release *)
-  let dynamic_msgs =
+  let dynamic_jobs =
     List.filter
-      (fun m -> match m.frame with Frame.Dynamic _ -> true | Frame.Static _ -> false)
-      messages
-    |> List.sort (fun a b -> compare a.release_us b.release_us)
+      (fun j ->
+        match j.msg.frame with
+        | Frame.Dynamic _ -> true
+        | Frame.Static _ -> false)
+      jobs
+    |> List.sort (fun a b -> compare a.msg.release_us b.msg.release_us)
   in
-  let dyn_waiting = ref [] (* (frame_id, length, message) pending *)
-  and dyn_future = ref dynamic_msgs in
+  let dyn_waiting = ref [] (* (frame_id, length, job) pending *)
+  and dyn_future = ref dynamic_jobs in
   for cycle = 0 to cycles - 1 do
     let cycle_start = cycle * cycle_us in
     (* static segment *)
     for slot = 0 to config.Config.static_slot_count - 1 do
       let slot_start = Config.static_slot_start config ~cycle ~slot in
       match Hashtbl.find_opt static_queue slot with
-      | Some (m :: rest) when m.release_us <= slot_start ->
-        deliveries :=
-          { message = m; delivered_us = slot_start + config.Config.static_slot_us }
-          :: !deliveries;
-        Hashtbl.replace static_queue slot rest
+      | Some (j :: rest) when j.msg.release_us <= slot_start ->
+        if attempt j ~finish:(slot_start + config.Config.static_slot_us) then
+          Hashtbl.replace static_queue slot rest
       | Some _ | None -> ()
     done;
     (* dynamic segment: admit messages released before it starts *)
     let dyn_start = cycle_start + Config.static_us config in
     let admitted, still_future =
-      List.partition (fun m -> m.release_us <= dyn_start) !dyn_future
+      List.partition (fun j -> j.msg.release_us <= dyn_start) !dyn_future
     in
     dyn_future := still_future;
     List.iter
-      (fun m ->
-        match m.frame with
+      (fun j ->
+        match j.msg.frame with
         | Frame.Dynamic { frame_id; length_minislots } ->
-          dyn_waiting := (frame_id, length_minislots, m) :: !dyn_waiting
+          dyn_waiting := (frame_id, length_minislots, j) :: !dyn_waiting
         | Frame.Static _ -> assert false)
       admitted;
     (* one frame id transmits at most one message per cycle: offer the
        oldest pending message of each id to the arbitration *)
     let oldest_per_id =
-      List.sort (fun (_, _, a) (_, _, b) -> compare a.release_us b.release_us)
+      List.sort
+        (fun (_, _, a) (_, _, b) -> compare a.msg.release_us b.msg.release_us)
         !dyn_waiting
       |> List.fold_left
            (fun acc ((id, _, _) as entry) ->
@@ -90,20 +127,34 @@ let simulate config ~until_us messages =
     List.iter
       (fun (tx : Dynamic_segment.transmission) ->
         match
-          List.find_opt (fun (id, _, _) -> id = tx.Dynamic_segment.frame_id)
+          List.find_opt
+            (fun (id, _, _) -> id = tx.Dynamic_segment.frame_id)
             oldest_per_id
         with
-        | Some (_, _, m) ->
+        | Some (_, _, j) ->
           let finish =
             dyn_start
             + ((tx.Dynamic_segment.start_minislot
                 + tx.Dynamic_segment.length_minislots)
                * config.Config.minislot_us)
           in
-          deliveries := { message = m; delivered_us = finish } :: !deliveries;
-          dyn_waiting :=
-            List.filter (fun (_, _, m') -> m' != m) !dyn_waiting
+          if attempt j ~finish then
+            dyn_waiting := List.filter (fun (_, _, j') -> j' != j) !dyn_waiting
         | None -> assert false)
       sent
   done;
-  List.filter (fun d -> d.delivered_us <= until_us) (List.rev !deliveries)
+  let delivered_in_time j =
+    match j.delivered_at with Some t -> t <= until_us | None -> false
+  in
+  {
+    deliveries =
+      List.filter (fun d -> d.delivered_us <= until_us) (List.rev !deliveries);
+    undelivered =
+      List.filter_map
+        (fun j -> if delivered_in_time j then None else Some (j.msg, j.tries))
+        jobs;
+    lost_tx = !lost_tx;
+  }
+
+let simulate config ~until_us messages =
+  (simulate_outcome config ~until_us messages).deliveries

@@ -5,21 +5,40 @@
     release, dynamic frames contend in the minislot arbitration.  The
     simulator reports per-message delivery times, from which the
     deterministic TT delay and the jittery ET delay of the paper can be
-    measured directly. *)
+    measured directly.
+
+    An optional [drop] hook models a lossy medium: a destroyed
+    transmission burns its slot (static) or minislots (dynamic) but the
+    message stays queued and retries at its next opportunity. *)
 
 type message = { frame : Frame.t; release_us : int }
 
 type delivery = {
   message : message;
   delivered_us : int;  (** end of the transmission window *)
+  attempts : int;  (** transmissions used; 1 = first try succeeded *)
 }
 
-val simulate : Config.t -> until_us:int -> message list -> delivery list
-(** Run the bus until [until_us]; messages not delivered by then are
-    dropped from the result.  Several pending static messages for the
-    same slot are served oldest-first, one per cycle.
+type outcome = {
+  deliveries : delivery list;
+  undelivered : (message * int) list;
+      (** not delivered by [until_us], with attempts burned *)
+  lost_tx : int;  (** transmissions destroyed by the [drop] hook *)
+}
+
+type drop = message -> attempt:int -> bool
+
+val simulate_outcome :
+  ?drop:drop -> Config.t -> until_us:int -> message list -> outcome
+(** Run the bus until [until_us].  Several pending static messages for
+    the same slot are served oldest-first, one per cycle; a dropped
+    transmission keeps its message at the head of the queue.
     @raise Invalid_argument on negative release times, static slots out
     of range, or dynamic frames longer than the whole segment. *)
+
+val simulate : Config.t -> until_us:int -> message list -> delivery list
+(** [simulate] is the lossless [simulate_outcome], returning only the
+    in-horizon deliveries — the historical interface. *)
 
 val delay_us : delivery -> int
 (** Delivery latency [delivered_us - release_us]. *)

@@ -1,0 +1,22 @@
+module B = struct
+  let name = "ttw"
+
+  type config = Config.t
+
+  let default_config = Config.default
+  let config_info cfg = Format.asprintf "%a" Config.pp cfg
+  let cycle_us = Config.round_us
+  let tt_channels (cfg : config) = cfg.Config.tt_channels
+  let et_capacity = Config.et_slots
+
+  (* one control sample fits a single data slot on this radio *)
+  let control_frame_size (_ : config) = 1
+
+  let simulate = Round.simulate
+
+  let wcrt_us cfg ~flow:_ ~size ~hp = Wcrt.wcrt_us cfg ~size hp
+end
+
+let backend : Bus.backend = (module B)
+let configured cfg : Bus.configured = Bus.Configured ((module B), cfg)
+let default : Bus.configured = Bus.default backend

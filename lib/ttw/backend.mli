@@ -1,0 +1,7 @@
+(** The TTW network as a {!Bus.BACKEND}: contention-free channels map
+    to reserved round slots, ET flows contend for the free slots under
+    round packing, and the loss hook models the lossy radio links. *)
+
+val backend : Bus.backend
+val configured : Config.t -> Bus.configured
+val default : Bus.configured

@@ -1,0 +1,41 @@
+type t = {
+  slots_per_round : int;
+  slot_us : int;
+  gap_us : int;
+  beacon_us : int;
+  tt_channels : int;
+}
+
+let make ~slots_per_round ~slot_us ~gap_us ~beacon_us ~tt_channels =
+  if slots_per_round <= 0 then invalid_arg "Config.make: slots_per_round";
+  if slot_us <= 0 then invalid_arg "Config.make: slot_us";
+  if gap_us < 0 then invalid_arg "Config.make: negative gap_us";
+  if beacon_us < 0 then invalid_arg "Config.make: negative beacon_us";
+  if tt_channels < 0 then invalid_arg "Config.make: negative tt_channels";
+  if tt_channels >= slots_per_round then
+    invalid_arg "Config.make: no contended slots left in the round";
+  { slots_per_round; slot_us; gap_us; beacon_us; tt_channels }
+
+let slot_stride_us t = t.slot_us + t.gap_us
+let round_us t = t.beacon_us + (t.slots_per_round * slot_stride_us t)
+let et_slots t = t.slots_per_round - t.tt_channels
+
+(* the i-th data slot of the round that starts at [round_start]
+   finishes here: beacon, then i full slot strides, then the airtime *)
+let slot_finish_us t ~round_start ~slot =
+  round_start + t.beacon_us + (slot * slot_stride_us t) + t.slot_us
+
+let default =
+  (* beacon 100 us + 16 slots of 120 us air + 30 us gap = a 2.5 ms
+     round: eight rounds per 20 ms sampling period, so sampling
+     instants stay phase-aligned with the round grid exactly as the
+     FlexRay check configuration aligns with its cycle *)
+  make ~slots_per_round:16 ~slot_us:120 ~gap_us:30 ~beacon_us:100
+    ~tt_channels:4
+
+let pp ppf t =
+  Format.fprintf ppf
+    "TTW round: %d us beacon + %d slots x (%d+%d) us (%d reserved TT, %d \
+     contended) = %d us"
+    t.beacon_us t.slots_per_round t.slot_us t.gap_us t.tt_channels
+    (et_slots t) (round_us t)

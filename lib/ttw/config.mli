@@ -1,0 +1,46 @@
+(** Round structure of the Time-Triggered Wireless network.
+
+    Time is divided into fixed-length {e communication rounds}: a sync
+    beacon, then [slots_per_round] contention-free data slots separated
+    by a processing gap.  The first [tt_channels] slots of every round
+    are reserved, one per TT channel (the wireless analogue of FlexRay
+    static slots); the remaining slots are assigned to event-triggered
+    flows by the round scheduler in priority order. *)
+
+type t = private {
+  slots_per_round : int;
+  slot_us : int;  (** airtime of one data slot *)
+  gap_us : int;  (** inter-slot processing/turnaround gap *)
+  beacon_us : int;  (** per-round sync beacon overhead *)
+  tt_channels : int;  (** reserved head slots, one per TT channel *)
+}
+
+val make :
+  slots_per_round:int ->
+  slot_us:int ->
+  gap_us:int ->
+  beacon_us:int ->
+  tt_channels:int ->
+  t
+(** @raise Invalid_argument on non-positive slot counts/airtimes,
+    negative overheads, or a reservation that leaves no contended
+    slot. *)
+
+val slot_stride_us : t -> int
+(** [slot_us + gap_us]: distance between consecutive slot starts. *)
+
+val round_us : t -> int
+(** Full round length, beacon included. *)
+
+val et_slots : t -> int
+(** Contended slots per round, [slots_per_round - tt_channels]. *)
+
+val slot_finish_us : t -> round_start:int -> slot:int -> int
+(** Absolute finish time of data slot [slot] (0-based) of the round
+    starting at [round_start]. *)
+
+val default : t
+(** A 2.5 ms round (100 µs beacon + 16 slots of 120+30 µs, 4 reserved)
+    that divides the case study's 20 ms sampling period. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type t = { flow : int; size : int; period_us : int; deadline_us : int }
+
+let make ~flow ~size ~period_us ~deadline_us =
+  if flow < 1 then invalid_arg "Flow.make: flow ids are 1-based";
+  if size < 1 then invalid_arg "Flow.make: empty frame";
+  if period_us <= 0 then invalid_arg "Flow.make: non-positive period";
+  if deadline_us <= 0 then invalid_arg "Flow.make: non-positive deadline";
+  { flow; size; period_us; deadline_us }
+
+type verdict = { flow : t; wcrt_us : int option; meets_deadline : bool }
+
+let check config flows =
+  let ids = List.map (fun (f : t) -> f.flow) flows in
+  let rec dup = function
+    | [] -> false
+    | x :: rest -> List.mem x rest || dup rest
+  in
+  if dup ids then invalid_arg "Flow.check: duplicate flow ids";
+  List.map
+    (fun (f : t) ->
+      let hp =
+        List.filter_map
+          (fun (g : t) ->
+            if g.flow < f.flow then Some (g.size, g.period_us) else None)
+          flows
+      in
+      let wcrt_us = Wcrt.wcrt_us config ~size:f.size hp in
+      let meets_deadline =
+        match wcrt_us with Some w -> w <= f.deadline_us | None -> false
+      in
+      { flow = f; wcrt_us; meets_deadline })
+    flows
+
+let all_meet config flows =
+  List.for_all (fun v -> v.meets_deadline) (check config flows)
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "flow %d (size %d, period %d us): wcrt %s, deadline %d us %s"
+    v.flow.flow v.flow.size v.flow.period_us
+    (match v.wcrt_us with
+     | Some w -> string_of_int w ^ " us"
+     | None -> "unbounded")
+    v.flow.deadline_us
+    (if v.meets_deadline then "OK" else "MISSED")

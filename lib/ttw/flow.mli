@@ -1,0 +1,24 @@
+(** Communication flows: the TTW unit of dimensioning.  A flow emits
+    one frame of [size] slots at most every [period_us] and must be
+    delivered within [deadline_us] end to end; flow ids double as
+    fixed priorities (lower id wins the round packing). *)
+
+type t = private {
+  flow : int;
+  size : int;
+  period_us : int;
+  deadline_us : int;
+}
+
+val make : flow:int -> size:int -> period_us:int -> deadline_us:int -> t
+(** @raise Invalid_argument on non-positive parameters or flow < 1. *)
+
+type verdict = { flow : t; wcrt_us : int option; meets_deadline : bool }
+
+val check : Config.t -> t list -> verdict list
+(** Response-time verdict per flow under all higher-priority flows of
+    the set.  @raise Invalid_argument on duplicate flow ids. *)
+
+val all_meet : Config.t -> t list -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

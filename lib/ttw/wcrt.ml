@@ -1,0 +1,48 @@
+(* Busy-window response-time bound for contended TTW flows, the
+   wireless sibling of the FlexRay dynamic-segment analysis.
+
+   A flow of [size] slots is blocked in a round exactly when
+   higher-priority demand eats past [et_slots - size]: with first-fit
+   packing and no priority gaps, [et_slots - size + 1] slots must go to
+   hp flows before ours no longer fits.  In a window of [q] rounds each
+   hp flow contends at most ceil(q * round / period) times, giving the
+   same fixed-point iteration the FlexRay bound uses. *)
+
+let hp_demand ~round_us hp q =
+  List.fold_left
+    (fun acc (size, period_us) ->
+      acc + ((((q * round_us) + period_us - 1) / period_us) * size))
+    0 hp
+
+let blocked_rounds_bound config ~size hp =
+  let et_slots = Config.et_slots config in
+  if size <= 0 || size > et_slots then None
+  else begin
+    let round_us = Config.round_us config in
+    List.iter
+      (fun (s, p) ->
+        if s <= 0 then invalid_arg "Ttw.Wcrt: hp size";
+        if p <= 0 then invalid_arg "Ttw.Wcrt: hp period")
+      hp;
+    let spare = et_slots - size + 1 in
+    let rec iterate q guard =
+      if guard > 10_000 then None
+      else
+        let blocked = hp_demand ~round_us hp q / spare in
+        let q' = blocked + 1 in
+        if q' = q then Some blocked
+        else if q' > 10_000 then None
+        else iterate (Int.max q' (q + 1)) (guard + 1)
+    in
+    iterate 1 0
+  end
+
+let wcrt_us config ~size hp =
+  match blocked_rounds_bound config ~size hp with
+  | None -> None
+  | Some blocked ->
+    let round_us = Config.round_us config in
+    (* worst release: just after a beacon, so a full round passes
+       before the first eligible schedule; delivery happens by the end
+       of the first non-blocked round *)
+    Some ((blocked + 2) * round_us)

@@ -1,0 +1,13 @@
+(** Worst-case response time of contended TTW flows under
+    fixed-priority first-fit round packing. *)
+
+val blocked_rounds_bound :
+  Config.t -> size:int -> (int * int) list -> int option
+(** Upper bound on full rounds a frame of [size] slots can be denied
+    by higher-priority flows given as [(size, period_us)]; [None] when
+    it can be starved (or can never fit).
+    @raise Invalid_argument on non-positive interferer parameters. *)
+
+val wcrt_us : Config.t -> size:int -> (int * int) list -> int option
+(** Release-to-delivery bound in µs: one full round of scheduling
+    latency, the blocked rounds, and the service round itself. *)

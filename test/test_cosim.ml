@@ -208,7 +208,9 @@ let test_bus_check_facts_hold () =
       ~disturbances:[ (0, "A"); (0, "C"); (5, "B") ]
       ~horizon:60 ()
   in
-  let r = Cosim.Bus_check.validate report in
+  let r =
+    Cosim.System.bus_validate ~bus:Backends.Flexray_backend.default report
+  in
   check_bool "all delivered" true r.Cosim.Bus_check.all_delivered;
   check_bool "TT deterministic" true r.Cosim.Bus_check.tt_deterministic;
   check_bool "ET one-sample" true r.Cosim.Bus_check.one_sample_ok;
@@ -223,12 +225,13 @@ let test_bus_check_validation () =
     Cosim.System.run ~slots:[ [ a ] ] ~disturbances:[] ~horizon:5 ()
   in
   let tiny =
-    Flexray.Config.make ~static_slot_count:1 ~static_slot_us:10
-      ~minislot_count:4 ~minislot_us:2
+    Backends.Flexray_backend.configured
+      (Flexray.Config.make ~static_slot_count:1 ~static_slot_us:10
+         ~minislot_count:4 ~minislot_us:2)
   in
   check_bool "segment too small" true
     (try
-       ignore (Cosim.Bus_check.validate ~config:tiny report);
+       ignore (Cosim.System.bus_validate ~bus:tiny report);
        false
      with Invalid_argument _ -> true)
 

@@ -87,6 +87,10 @@ let test_spec_parse () =
   | Ok [ Faults.Spec.Burst { app = "A"; start = 10; count = 3 } ] -> ()
   | Ok _ -> Alcotest.fail "wrong clause"
   | Error e -> Alcotest.fail e);
+  (match Faults.Spec.parse "link:p=0.05" with
+  | Ok [ Faults.Spec.Link_loss_random { p = 0.05 } ] -> ()
+  | Ok _ -> Alcotest.fail "wrong clause"
+  | Error e -> Alcotest.fail e);
   match Faults.Spec.parse " blackout:p=0.1,len=4 ; loss:A@5 ; drop:B@p=0.2 " with
   | Ok
       [
@@ -107,6 +111,7 @@ let test_spec_roundtrip () =
       "drop:B@9";
       "drop:B@p=0.25";
       "burst:A@10x3";
+      "link:p=0.05";
       "blackout:0-2; loss:A@1; burst:B@4x2";
     ]
   in
@@ -127,7 +132,8 @@ let test_spec_errors () =
   check_bool "garbage" true (rejected "bogus");
   check_bool "probability > 1" true (rejected "blackout:p=1.5");
   check_bool "empty window" true (rejected "blackout:7-3");
-  check_bool "negative sample" true (rejected "loss:A@-1")
+  check_bool "negative sample" true (rejected "loss:A@-1");
+  check_bool "link wants p=" true (rejected "link:0.1")
 
 let test_spec_is_random () =
   let parse s =
@@ -136,7 +142,9 @@ let test_spec_is_random () =
   check_bool "window is deterministic" false
     (Faults.Spec.is_random (parse "blackout:3-7; burst:A@10"));
   check_bool "probabilistic clause is random" true
-    (Faults.Spec.is_random (parse "blackout:3-7; loss:A@p=0.1"))
+    (Faults.Spec.is_random (parse "blackout:3-7; loss:A@p=0.1"));
+  check_bool "link loss is random" true
+    (Faults.Spec.is_random (parse "link:p=0.1"))
 
 (* ------------------------------------------------------------------ *)
 (* Plan materialisation *)
@@ -186,6 +194,35 @@ let test_plan_point_faults () =
             (id = 1 && k = 9) b)
         row)
     plan.Faults.Plan.sensor_drop
+
+let test_plan_link_loss () =
+  (* p=1 destroys every first attempt of every app; p=0 none *)
+  let all = materialize "link:p=1" ~horizon:12 in
+  Array.iter
+    (fun row -> Array.iter (fun b -> check_bool "p=1 fires" true b) row)
+    all.Faults.Plan.et_loss;
+  let none = materialize "link:p=0" ~horizon:12 in
+  Array.iter
+    (fun row -> Array.iter (fun b -> check_bool "p=0 silent" false b) row)
+    none.Faults.Plan.et_loss;
+  check_bool "sensors untouched" true
+    (Array.for_all (Array.for_all not) all.Faults.Plan.sensor_drop);
+  (* the mask draws one sub-stream per app id, so app 0's losses do not
+     move when the app list is extended *)
+  let mask apps =
+    match Faults.Spec.parse "link:p=0.3" with
+    | Error e -> Alcotest.fail e
+    | Ok spec ->
+      (match Faults.Plan.materialize ~spec ~seed:7L ~apps ~horizon:64 with
+       | Ok plan -> plan.Faults.Plan.et_loss
+       | Error e -> Alcotest.fail e)
+  in
+  let two = mask [| ("A", 120); ("B", 120) |]
+  and three = mask [| ("A", 120); ("B", 120); ("C", 120) |] in
+  check_bool "app 0 stream stable" true (two.(0) = three.(0));
+  check_bool "app 1 stream stable" true (two.(1) = three.(1));
+  check_bool "some losses at p=0.3" true
+    (Array.exists (Array.exists Fun.id) two)
 
 let test_plan_deterministic () =
   let spec =
@@ -376,6 +413,7 @@ let () =
           Alcotest.test_case "blackout window" `Quick test_plan_blackout_window;
           Alcotest.test_case "burst spacing" `Quick test_plan_burst_spacing;
           Alcotest.test_case "point faults" `Quick test_plan_point_faults;
+          Alcotest.test_case "link loss masks" `Quick test_plan_link_loss;
           Alcotest.test_case "deterministic" `Quick test_plan_deterministic;
           Alcotest.test_case "errors" `Quick test_plan_errors;
         ] );

@@ -255,6 +255,32 @@ let test_mapping_invariant_under_screen () =
     "identical optimal partition with the screen on and off" (render opt_off)
     (render opt_on)
 
+(* the zone engine's screened path must be verdict-preserving too:
+   [Ta_model.verify ~prefilter:true] answers exactly what the bare
+   engine answers, and a screened group reports all-zero stats *)
+let prop_ta_verify_screened =
+  QCheck2.Test.make
+    ~name:"Ta_model.verify with the screen matches the bare engine"
+    ~count:60 ~print:pp_group gen_group (fun specs ->
+      let bare = Core.Ta_model.verify specs in
+      let screened = Core.Ta_model.verify ~prefilter:true specs in
+      if screened.Core.Ta_model.outcome <> bare.Core.Ta_model.outcome then
+        QCheck2.Test.fail_report "screen changed the zone-engine verdict";
+      (match Sched.Prefilter.decide specs with
+       | Sched.Prefilter.Inconclusive ->
+         if screened.Core.Ta_model.stats.Ta.Reach.states
+            <> bare.Core.Ta_model.stats.Ta.Reach.states
+         then
+           QCheck2.Test.fail_report
+             "inconclusive screen still altered the exploration"
+       | Sched.Prefilter.Analytic_safe | Sched.Prefilter.Analytic_unsafe _ ->
+         if screened.Core.Ta_model.stats.Ta.Reach.states <> 0
+            || screened.Core.Ta_model.stats.Ta.Reach.transitions <> 0
+         then
+           QCheck2.Test.fail_report
+             "screened verify must not build the zone graph");
+      true)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -262,7 +288,7 @@ let () =
     [
       ( "soundness",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_soundness; prop_soundness_lazy ] );
+          [ prop_soundness; prop_soundness_lazy; prop_ta_verify_screened ] );
       ( "boundaries",
         [
           Alcotest.test_case "busy window == deadline accepts" `Quick
