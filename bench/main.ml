@@ -1155,6 +1155,128 @@ let bus_sweep () =
       ignore (write_snapshot ~file:"BENCH_bus.json" ~command:"bench-bus"))
 
 (* ------------------------------------------------------------------ *)
+(* Resident-service snapshot: sustained request throughput of the serve
+   router over a synthetic 10k-application fleet, written to
+   BENCH_serve.json.  Three passes against one warm service: cold
+   (every group reaches the engine), warm (the identical request log
+   replayed — zero engine runs, byte-identical verdict payloads) and
+   incremental (one application's timing mutated — exactly one group
+   re-verified).  Any other hit mix, a payload divergence, or a warm
+   speedup under 10x is a hard failure. *)
+
+let serve_snapshot () =
+  section "X17"
+    "Resident-service snapshot — BENCH_serve.json (cold/warm/incremental)";
+  (* the serve story shards independent groups across domains *)
+  Par.Pool.set_default_jobs 4;
+  let n_apps = 10_000 and group_size = 5 and groups_per_req = 10 in
+  let n_groups = n_apps / group_size in
+  let n_requests = n_groups / groups_per_req in
+  (* distinct names make every group fingerprint unique; cycling the
+     dwell ceiling and inter-arrival keeps the engine from collapsing
+     the groups by symmetry *)
+  let app_json ?dw_max i =
+    let dw_max = match dw_max with Some d -> d | None -> 2 + (i mod 3) in
+    Printf.sprintf
+      "{\"name\":\"S%d\",\"t_w_max\":1,\"t_dw_min\":[1,1],\"t_dw_max\":[1,%d],\"r\":%d}"
+      i dw_max
+      (9 + (i mod 7))
+  in
+  let group ?mutate g =
+    "["
+    ^ String.concat ","
+        (List.init group_size (fun k ->
+             let i = (g * group_size) + k in
+             if mutate = Some i then app_json ~dw_max:5 i else app_json i))
+    ^ "]"
+  in
+  let request ?mutate r =
+    Printf.sprintf "{\"id\":%d,\"kind\":\"verify\",\"groups\":[%s]}" r
+      (String.concat ","
+         (List.init groups_per_req (fun k ->
+              group ?mutate ((r * groups_per_req) + k))))
+  in
+  let requests = List.init n_requests (fun r -> request r) in
+  let payload_of line =
+    match Obs.Jsonx.of_string line with
+    | Ok (Obs.Jsonx.Assoc kvs) -> (
+      match List.assoc_opt "output" kvs with
+      | Some (Obs.Jsonx.String s) -> s
+      | _ -> failwith "serve snapshot: response lacks an output payload")
+    | _ -> failwith "serve snapshot: unparseable response"
+  in
+  Obs.Metric.reset ();
+  Obs.Span.reset ();
+  Obs.Trace_ctx.reset ();
+  Obs.Trace_ctx.enable ();
+  Fun.protect ~finally:Obs.Trace_ctx.disable (fun () ->
+      let svc = Serve.Service.create () in
+      let pass lines =
+        let t0 = Obs.Clock.now () in
+        let answers =
+          List.map (fun l -> fst (Serve.Service.handle_line svc l)) lines
+        in
+        (Obs.Clock.now () -. t0, List.map payload_of answers)
+      in
+      let cold_s, cold_payloads = pass requests in
+      let cold_runs = Serve.Service.engine_runs svc in
+      let warm_s, warm_payloads = pass requests in
+      let warm_runs = Serve.Service.engine_runs svc - cold_runs in
+      if cold_runs <> n_groups then
+        failwith
+          (Printf.sprintf "serve snapshot: cold pass ran the engine %d/%d times"
+             cold_runs n_groups);
+      if warm_runs <> 0 then
+        failwith
+          (Printf.sprintf "serve snapshot: warm pass ran the engine %d time(s)"
+             warm_runs);
+      if cold_payloads <> warm_payloads then
+        failwith "serve snapshot: warm verdict payloads diverge from cold";
+      (* one mutated application: its group — and only its group — is
+         re-verified, the request's other groups answer from memory *)
+      let before = Serve.Service.engine_runs svc in
+      let incr_s, _ = pass [ request ~mutate:3 0 ] in
+      let incr_runs = Serve.Service.engine_runs svc - before in
+      if incr_runs <> 1 then
+        failwith
+          (Printf.sprintf
+             "serve snapshot: one-app change re-ran the engine %d time(s)"
+             incr_runs);
+      let speedup = cold_s /. Float.max 1e-9 warm_s in
+      if speedup < 10.0 then
+        failwith
+          (Printf.sprintf "serve snapshot: warm speedup %.1fx is below 10x"
+             speedup);
+      Printf.printf
+        "%d apps in %d groups over %d requests\n\
+         cold %.2fs (%d engine runs, %.0f req/s) | warm %.2fs (0 engine runs, \
+         %.0f req/s, %.0fx) | incremental %d engine run\n"
+        n_apps n_groups n_requests cold_s cold_runs
+        (float_of_int n_requests /. Float.max 1e-9 cold_s)
+        warm_s
+        (float_of_int n_requests /. Float.max 1e-9 warm_s)
+        speedup incr_runs;
+      print_endline "warm verdict payloads byte-identical to cold";
+      Obs.Metric.set_gauge "bench.serve.apps" (float_of_int n_apps);
+      Obs.Metric.set_gauge "bench.serve.groups" (float_of_int n_groups);
+      Obs.Metric.set_gauge "bench.serve.requests" (float_of_int n_requests);
+      Obs.Metric.set_gauge "bench.serve.cold_engine_runs"
+        (float_of_int cold_runs);
+      Obs.Metric.set_gauge "bench.serve.warm_engine_runs"
+        (float_of_int warm_runs);
+      Obs.Metric.set_gauge "bench.serve.incr_engine_runs"
+        (float_of_int incr_runs);
+      Obs.Metric.set_gauge "bench.serve.cold_s" cold_s;
+      Obs.Metric.set_gauge "bench.serve.warm_s" warm_s;
+      Obs.Metric.set_gauge "bench.serve.incr_s" incr_s;
+      Obs.Metric.set_gauge "bench.serve.cold_req_per_sec"
+        (float_of_int n_requests /. Float.max 1e-9 cold_s);
+      Obs.Metric.set_gauge "bench.serve.warm_req_per_sec"
+        (float_of_int n_requests /. Float.max 1e-9 warm_s);
+      Obs.Metric.set_gauge "bench.serve.warm_speedup" speedup;
+      ignore (write_snapshot ~file:"BENCH_serve.json" ~command:"bench-serve"))
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1180,6 +1302,7 @@ let sections =
     ("search", search_snapshot);
     ("cache", cache_snapshot);
     ("bus", bus_sweep);
+    ("serve", serve_snapshot);
   ]
 
 (* no arguments runs everything; otherwise each argument names one

@@ -549,6 +549,30 @@ let cache_clear_run path =
     0
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+(* Resident/batch mode: requests in, responses out, one warm cache pair
+   across all of them.  Exit code reports transport failures only — a
+   failing request gets a structured error response, not an exit. *)
+let serve_cmd_run socket jobs cache =
+  apply_jobs jobs;
+  with_pcache cache @@ fun pcache ->
+  Option.iter
+    (fun pc ->
+      if Core.Pcache.read_only pc then
+        Printf.eprintf
+          "cpsdim serve: another process holds the cache's writer lock; \
+           running read-only (verdicts computed here are not persisted)\n%!")
+    pcache;
+  let svc = Serve.Service.create ?pcache () in
+  match socket with
+  | None -> Serve.Daemon.run_stdio svc; 0
+  | Some path ->
+    (match Serve.Daemon.run_socket svc ~path with
+     | Ok () -> 0
+     | Error m -> Printf.eprintf "cpsdim serve: %s\n" m; 1)
+
+(* ------------------------------------------------------------------ *)
 (* report *)
 
 let report_show_run path =
@@ -1014,6 +1038,29 @@ let margins_cmd =
     (with_obs "margins"
        Term.(const (fun names () -> margins_cmd_run names) $ names_arg))
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a Unix domain socket at $(docv) (clients served one at \
+           a time, caches staying warm across connections) instead of \
+           answering stdin on stdout.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Resident dimensioning service: read verify/map/dwell requests (one \
+          JSON object per line) from stdin or a Unix socket and answer each \
+          on the same channel, re-verifying only groups whose fingerprint \
+          has not been answered before")
+    (with_obs "serve"
+       Term.(
+         const (fun socket jobs cache () -> serve_cmd_run socket jobs cache)
+         $ socket_arg $ jobs_arg $ cache_arg))
+
 let report_args =
   Arg.(
     value & pos_all string []
@@ -1082,4 +1129,4 @@ let () =
     Cmd.info "cpsdim" ~version:"1.0.0"
       ~doc:"Tighter dimensioning of TT slots with control performance guarantees"
   in
-  exit (Cmd.eval' (Cmd.group ~default info [ tables_cmd; verify_cmd; map_cmd; simulate_cmd; stress_cmd; sweep_cmd; bus_cmd; design_cmd; fleet_cmd; uppaal_cmd; margins_cmd; report_cmd; cache_cmd ]))
+  exit (Cmd.eval' (Cmd.group ~default info [ tables_cmd; verify_cmd; map_cmd; simulate_cmd; stress_cmd; sweep_cmd; bus_cmd; design_cmd; fleet_cmd; uppaal_cmd; margins_cmd; serve_cmd; report_cmd; cache_cmd ]))

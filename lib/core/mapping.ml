@@ -150,6 +150,19 @@ let checked_verdict ?cache ?screen verifier specs =
   probe_metrics dt src;
   v
 
+(* one cache-aware safety question with its provenance, for callers
+   (the serve layer) that answer requests incrementally and must report
+   where each verdict came from.  Prefilter defaults OFF here — the
+   one-shot `verify` command runs the engine unscreened, and serve must
+   answer byte-identically to it. *)
+let probe ?cache ?(prefilter = false) ?(symmetry = true) specs =
+  let screen = if prefilter then Some analytic_screen else None in
+  let v, dt, src =
+    timed_probe ?cache ?screen (ordered_verifier ~symmetry `Bfs) specs
+  in
+  probe_metrics dt src;
+  (v, src)
+
 let first_fit ?pool ?cache ?(order = `Bfs) ?verifier ?(prefilter = true)
     ?(symmetry = true) ?(presorted = false) apps =
   (* the screen's soundness argument is tied to the default engine's

@@ -116,6 +116,21 @@ val specs_of_group : App.t list -> Sched.Appspec.t array
 (** Dense scheduler specs for a candidate group (ids assigned in list
     order). *)
 
+val probe :
+  ?cache:cache ->
+  ?prefilter:bool ->
+  ?symmetry:bool ->
+  Sched.Appspec.t array ->
+  verdict * [ `Screen | `Mem | `Disk | `Miss ]
+(** One cache-aware group-safety question with the provenance of its
+    answer: [`Screen] (analytic pre-filter, only with
+    [prefilter:true]), [`Mem]/[`Disk] (cache level that answered), or
+    [`Miss] (the engine ran).  Uses the default subsumption engine
+    ([`Bfs]; [symmetry] defaults to [true] — verdict-preserving), so
+    the verdict matches {!default_verifier} byte-for-byte.
+    [prefilter] defaults to [false], matching the one-shot [verify]
+    command. *)
+
 val pp : Format.formatter -> outcome -> unit
 
 val optimal :

@@ -47,4 +47,17 @@ val find_verdict : t -> Sched.Appspec.t array -> Mapping.verdict option
 
 val store : t -> Store.t
 val stats : t -> Store.stats
+
+val read_only : t -> bool
+(** Another process holds the store's writer lock: verdicts and tables
+    computed through this handle stay in memory and are not persisted
+    (see {!Store.read_only}). *)
+
+type hit_stats = { mem : int; disk : int; engine : int }
+
+val hit_stats : t -> hit_stats
+(** Where answers have come from so far, aggregated over both backed
+    caches: in-memory hits, store hits, and fresh computations.  The
+    running total a resident service reports across requests. *)
+
 val close : t -> unit

@@ -189,7 +189,16 @@ let replay_on_bus ~bus ?plan (trace : Trace.t) =
   let loss =
     match plan with
     | None -> Bus.loss_none
-    | Some p -> Bus.loss_of_plan ~h_us p
+    | Some p ->
+      (* the plan's ET masks destroy first attempts; each link-burst
+         clause additionally fades whole retransmission runs.  A
+         message is lost when any hook says so. *)
+      List.fold_left
+        (fun acc (seed, pr, len) ->
+          let burst = Bus.loss_burst ~seed ~p:pr ~len in
+          fun m ~attempt -> acc m ~attempt || burst m ~attempt)
+        (Bus.loss_of_plan ~h_us p)
+        p.Faults.Plan.link_burst
   in
   Bus_check.validate_slots ~bus ~loss ~h_us
     [ (Array.to_list trace.Trace.names, trace) ]

@@ -58,6 +58,8 @@ val replay_on_bus :
     sampling period comes from the trace; when [plan] is given its
     ET-loss masks drive the medium's loss hook ({!Bus.loss_of_plan}),
     so the link-layer story matches what the control layer already
-    suffered.  @raise Invalid_argument on a non-positive period or a
+    suffered, and every [plan.link_burst] clause layers a correlated
+    {!Bus.loss_burst} fade on top (a message is lost when any hook
+    fires).  @raise Invalid_argument on a non-positive period or a
     backend too small for the scenario (see
     {!Bus_check.validate_slots}). *)

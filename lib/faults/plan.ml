@@ -4,6 +4,7 @@ type t = {
   et_loss : bool array array;
   sensor_drop : bool array array;
   bursts : (int * int) list;
+  link_burst : (int64 * float * int) list;
 }
 
 let none ~n ~horizon =
@@ -13,6 +14,7 @@ let none ~n ~horizon =
     et_loss = Array.init n (fun _ -> Array.make horizon false);
     sensor_drop = Array.init n (fun _ -> Array.make horizon false);
     bursts = [];
+    link_burst = [];
   }
 
 let ( let* ) = Result.bind
@@ -37,6 +39,7 @@ let materialize ~spec ~seed ~apps ~horizon =
   else begin
     let plan = none ~n:(Array.length apps) ~horizon in
     let bursts = ref [] in
+    let link_bursts = ref [] in
     let root = Prng.create seed in
     let apply index clause =
       (* one child stream per clause index: clause-local determinism *)
@@ -78,6 +81,12 @@ let materialize ~spec ~seed ~apps ~horizon =
             done)
           apps;
         Ok ()
+      | Spec.Link_burst { p; len } ->
+        (* fading is realised per transmission attempt, which only the
+           replay bus knows about — the plan just fixes this clause's
+           seed so the realisation is a pure function of (spec, seed) *)
+        link_bursts := (Prng.next_int64 rng, p, len) :: !link_bursts;
+        Ok ()
       | Spec.Sensor_drop_at { app; sample } ->
         let* id = app_id apps app in
         let* () = in_horizon sample ~horizon ~what:"drop" in
@@ -109,7 +118,12 @@ let materialize ~spec ~seed ~apps ~horizon =
         (Ok ())
         (List.mapi (fun i c -> (i, c)) spec)
     in
-    Ok { plan with bursts = List.sort_uniq compare !bursts }
+    Ok
+      {
+        plan with
+        bursts = List.sort_uniq compare !bursts;
+        link_burst = List.rev !link_bursts;
+      }
   end
 
 let count_true a = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a
@@ -120,4 +134,4 @@ let event_count t =
   + Array.fold_left (fun acc row -> acc + count_true row) 0 t.sensor_drop
   + List.length t.bursts
 
-let is_empty t = event_count t = 0
+let is_empty t = event_count t = 0 && t.link_burst = []

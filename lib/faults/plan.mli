@@ -11,6 +11,13 @@ type t = {
   et_loss : bool array array;  (** [et_loss.(id).(k)]: ET message lost *)
   sensor_drop : bool array array;  (** measurement held at sample [k] *)
   bursts : (int * int) list;  (** extra [(sample, id)] arrivals, sorted *)
+  link_burst : (int64 * float * int) list;
+      (** correlated-fading clauses as [(seed, p, len)], in spec order:
+          each drives one [Bus.loss_burst] hook on the replay bus.
+          Fading is an attempt-level medium fault, so it is realised
+          only there — it contributes nothing to {!event_count} (which
+          counts sample-level mask events), but a plan carrying one is
+          not {!is_empty}. *)
 }
 
 val none : n:int -> horizon:int -> t

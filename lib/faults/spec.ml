@@ -4,6 +4,7 @@ type clause =
   | Et_loss_at of { app : string; sample : int }
   | Et_loss_random of { app : string; p : float }
   | Link_loss_random of { p : float }
+  | Link_burst of { p : float; len : int }
   | Sensor_drop_at of { app : string; sample : int }
   | Sensor_drop_random of { app : string; p : float }
   | Burst of { app : string; start : int; count : int }
@@ -110,7 +111,22 @@ let parse_clause s =
        if starts_with ~prefix:"p=" body then
          let* p = prob_of (after ~prefix:"p=" body) in
          Ok (Link_loss_random { p })
-       else err "link wants p=P: %S" body
+       else if starts_with ~prefix:"burst=" body then begin
+         match String.split_on_char ',' (after ~prefix:"burst=" body) with
+         | [ p ] ->
+           let* p = prob_of p in
+           Ok (Link_burst { p; len = 3 })
+         | [ p; len ] when starts_with ~prefix:"len=" (String.trim len) ->
+           let* p = prob_of p in
+           let* len =
+             int_of (after ~prefix:"len=" (String.trim len))
+               ~what:"link burst length"
+           in
+           if len = 0 then err "link burst length must be positive"
+           else Ok (Link_burst { p; len })
+         | _ -> err "link burst wants burst=P[,len=L]: %S" body
+       end
+       else err "link wants p=P or burst=P[,len=L]: %S" body
      | "burst" -> parse_burst body
      | k -> err "unknown fault kind %S (want blackout|loss|link|drop|burst)" k)
 
@@ -136,6 +152,7 @@ let clause_to_string = function
   | Et_loss_at { app; sample } -> Printf.sprintf "loss:%s@%d" app sample
   | Et_loss_random { app; p } -> Printf.sprintf "loss:%s@p=%g" app p
   | Link_loss_random { p } -> Printf.sprintf "link:p=%g" p
+  | Link_burst { p; len } -> Printf.sprintf "link:burst=%g,len=%d" p len
   | Sensor_drop_at { app; sample } -> Printf.sprintf "drop:%s@%d" app sample
   | Sensor_drop_random { app; p } -> Printf.sprintf "drop:%s@p=%g" app p
   | Burst { app; start; count } -> Printf.sprintf "burst:%s@%dx%d" app start count
@@ -144,6 +161,6 @@ let to_string t = String.concat ";" (List.map clause_to_string t)
 
 let is_random =
   List.exists (function
-    | Blackout_random _ | Et_loss_random _ | Link_loss_random _
+    | Blackout_random _ | Et_loss_random _ | Link_loss_random _ | Link_burst _
     | Sensor_drop_random _ -> true
     | Blackout_window _ | Et_loss_at _ | Sensor_drop_at _ | Burst _ -> false)

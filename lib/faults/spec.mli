@@ -12,6 +12,11 @@
     link:p=P                the shared medium is lossy: every
                             application's ET sample is lost
                             independently with probability P
+    link:burst=P[,len=L]    correlated fading: with probability P a
+                            message's first L transmission attempts
+                            are all destroyed (default L = 3) — only
+                            bites on a bus replay with retransmission
+                            (the TTW backend)
     drop:APP@K              APP's sensor sample K is dropped
                             (controller holds the last measurement)
     drop:APP@p=P            each sensor sample dropped with prob. P
@@ -32,6 +37,10 @@ type clause =
   | Et_loss_random of { app : string; p : float }
   | Link_loss_random of { p : float }
       (** medium-wide loss: hits every application's ET traffic *)
+  | Link_burst of { p : float; len : int }
+      (** medium-wide correlated fading: drives {!Bus.loss_burst} on
+          the replay bus, destroying the first [len] attempts of a
+          faded message *)
   | Sensor_drop_at of { app : string; sample : int }
   | Sensor_drop_random of { app : string; p : float }
   | Burst of { app : string; start : int; count : int }

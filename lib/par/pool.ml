@@ -175,6 +175,18 @@ let await t fut =
   in
   wait ()
 
+(* Coarse-grained sharding: one future per thunk, all in a single
+   submission group so an [await] on any of them helps with the
+   others.  This is what the serve layer uses to spread independent
+   slot groups across the pool while each group's engine run may
+   itself call [map_array] on the same pool (nesting stays
+   deadlock-free through helping). *)
+let submit_list t thunks =
+  let group = Atomic.fetch_and_add fresh_group 1 in
+  List.map (fun f -> submit_group t group f) thunks
+
+let await_list t futures = List.map (fun fut -> await t fut) futures
+
 let map_array t f a =
   let n = Array.length a in
   if n = 0 then [||]
@@ -210,13 +222,28 @@ let default_m = Mutex.create ()
 let default_pool : t option ref = ref None
 let requested : int option ref = ref None
 
+(* A misconfigured CPSDIM_JOBS ("four", "0", "-2") used to be silently
+   coerced to 1, so a fleet that fat-fingered its provisioning quietly
+   ran sequential.  The coercion stands (a broken knob must not abort a
+   verification run) but it is announced once on stderr, naming the
+   rejected value. *)
+let env_jobs_warned = Atomic.make false
+
+let warn_env_jobs s =
+  if not (Atomic.exchange env_jobs_warned true) then
+    Printf.eprintf
+      "cpsdim: CPSDIM_JOBS=%S is not a positive integer; running with 1 job\n%!"
+      s
+
 let env_jobs () =
   match Sys.getenv_opt "CPSDIM_JOBS" with
   | None -> 1
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some j when j >= 1 -> j
-    | Some _ | None -> 1)
+    | Some _ | None ->
+      warn_env_jobs s;
+      1)
 
 let default_jobs () =
   Mutex.lock default_m;

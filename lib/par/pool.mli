@@ -35,6 +35,18 @@ val await : t -> 'a future -> 'a
     tasks meanwhile.  Re-raises the task's exception (with its original
     backtrace) if it failed. *)
 
+val submit_list : t -> (unit -> 'a) list -> 'a future list
+(** Enqueue every thunk under one shared submission group — the
+    coarse-grained counterpart of {!map_array} for work items that are
+    themselves big (a whole slot group's verification each).  Awaiting
+    any returned future helps with the other still-queued thunks of
+    the same list, so nested parallelism on one pool stays
+    deadlock-free. *)
+
+val await_list : t -> 'a future list -> 'a list
+(** {!await} each future in list order (the merge point callers use to
+    keep results deterministic). *)
+
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel map preserving order.  Work is submitted in contiguous
     chunks (several elements per future when the input is large, so the
@@ -65,6 +77,13 @@ val default : unit -> t
 val default_jobs : unit -> int
 (** Current default size: the last {!set_default_jobs}, else
     [CPSDIM_JOBS], else 1. *)
+
+val env_jobs : unit -> int
+(** The [CPSDIM_JOBS] environment variable as a job count: unset reads
+    as 1; a value that is not a positive integer also reads as 1 but
+    additionally emits a one-time stderr warning naming the rejected
+    value (a misconfigured fleet must not {e silently} run
+    sequential).  Exposed for tests. *)
 
 val set_default_jobs : int -> unit
 (** Resize the default pool (shutting the previous one down if its size

@@ -1,0 +1,51 @@
+let run_channels svc ic oc =
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> `Eof
+    | Some line when String.trim line = "" -> loop ()
+    | Some line -> (
+      let response, control = Service.handle_line svc line in
+      Out_channel.output_string oc response;
+      Out_channel.output_char oc '\n';
+      Out_channel.flush oc;
+      match control with `Continue -> loop () | `Stop -> `Stopped)
+  in
+  loop ()
+
+let run_stdio svc = ignore (run_channels svc stdin stdout)
+
+let run_socket svc ~path =
+  (* a dead previous daemon leaves its socket file behind; binding over
+     it is the expected restart story *)
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.bind sock (Unix.ADDR_UNIX path) with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  | () ->
+    Unix.listen sock 8;
+    (* a client gone before its answer must end that connection, not
+       the daemon: EPIPE surfaces as an exception, not a signal *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    let serve_client fd =
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let outcome = try run_channels svc ic oc with Sys_error _ -> `Eof in
+      (try Out_channel.flush oc with Sys_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      outcome
+    in
+    let rec accept_loop () =
+      match Unix.accept sock with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | fd, _ -> (
+        match serve_client fd with `Stopped -> () | `Eof -> accept_loop ())
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+      accept_loop;
+    Ok ()

@@ -1,0 +1,27 @@
+(** Transport loop of [cpsdim serve]: line-delimited requests in,
+    line-delimited responses out, over stdio or a Unix domain socket.
+
+    Requests are handled strictly in arrival order and every response
+    is flushed before the next line is read, so a client that writes a
+    batch and reads until EOF always sees one answer per request, in
+    request order.  Because {!Service.handle_line} awaits its sharded
+    group probes before returning, a [shutdown] request cannot race
+    in-flight work: by the time the "bye" response is on the wire the
+    pool has drained. *)
+
+val run_channels : Service.t -> in_channel -> out_channel -> [ `Eof | `Stopped ]
+(** Serve one connection: read lines until EOF ([`Eof]) or a shutdown
+    request ([`Stopped]), skipping blank lines.  A final line without
+    its newline (truncated client write) is still parsed — and, being
+    cut short, answered with a structured error rather than silence. *)
+
+val run_stdio : Service.t -> unit
+(** {!run_channels} over stdin/stdout — the batch mode. *)
+
+val run_socket : Service.t -> path:string -> (unit, string) result
+(** Bind a Unix domain socket at [path] (replacing a stale one) and
+    accept clients one at a time, each served with {!run_channels};
+    the service — and its warm caches — persists across connections.
+    A client disconnect ends its connection only; a [shutdown] request
+    ends the accept loop.  The socket file is removed on exit.
+    [Error] when the socket cannot be bound. *)

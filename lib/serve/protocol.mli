@@ -1,0 +1,81 @@
+(** Line protocol of [cpsdim serve]: one JSON object per line in, one
+    JSON object per line out, over stdio or a Unix socket.
+
+    Requests (["id"] is optional and echoed verbatim in the answer):
+
+    - [{"id":1,"kind":"verify","groups":[[APP,...],...]}] — one
+      group-safety question per group, where APP is either a case-study
+      name (["C1"]), a name with a settling-budget override
+      ([{"name":"C1","j_star":30}] — a different budget is a different
+      group, which is what drives incremental re-verification), or a
+      fully inline timing spec
+      ([{"name":"A","t_w_max":1,"t_dw_min":[1,1],"t_dw_max":[1,2],"r":9}]);
+    - [{"id":2,"kind":"map","optimal":false}] — slot mapping of the
+      case study;
+    - [{"id":3,"kind":"dwell","app":"C1","j_star":25}] — one dwell
+      table ([j_star] optional);
+    - [{"kind":"ping"}] and [{"kind":"shutdown"}].
+
+    Responses are [{"id":..,"ok":true,"kind":..,...,"output":".."}] on
+    success — the ["output"] field is always {e last}, so shell
+    pipelines can extract it without a JSON parser — and
+    [{"id":..,"ok":false,"error":".."}] on any malformed or failing
+    request.  A request never crashes the service. *)
+
+type group_app =
+  | Named of string  (** case-study application, by name *)
+  | Override of { name : string; j_star : int }
+      (** case-study plant and gains under a different settling budget *)
+  | Inline of {
+      name : string;
+      t_w_max : int;
+      t_dw_min : int array;
+      t_dw_max : int array;
+      r : int;
+    }  (** raw timing spec, no control layer involved *)
+
+type request =
+  | Verify of { id : Obs.Jsonx.t; groups : group_app list list }
+  | Map of { id : Obs.Jsonx.t; optimal : bool }
+  | Dwell of { id : Obs.Jsonx.t; app : string; j_star : int option }
+  | Ping of { id : Obs.Jsonx.t }
+  | Shutdown of { id : Obs.Jsonx.t }
+
+val request_of_line : string -> (request, Obs.Jsonx.t * string) result
+(** Parse one line.  [Error (id, message)] echoes whatever ["id"] could
+    still be recovered from the line ([Null] otherwise), so the client
+    can correlate the failure. *)
+
+type group_answer = {
+  fingerprint : string;
+      (** {!digest} of the group's injective {!Core.Mapping.fingerprint} *)
+  verdict : Core.Mapping.verdict;
+  provenance : [ `Screen | `Mem | `Disk | `Miss ];
+      (** where the answer came from; [`Miss] means the engine ran *)
+}
+
+val digest : string -> string
+(** 16-hex FNV-1a digest of an injective fingerprint: a stable,
+    compact group identity for the wire (collisions are irrelevant
+    here — the digest only labels answers, the cache keys stay
+    injective). *)
+
+val verdict_name : Core.Mapping.verdict -> string
+(** ["safe"] / ["unsafe"] / ["undetermined"]. *)
+
+val provenance_name : [ `Screen | `Mem | `Disk | `Miss ] -> string
+(** ["screen"] / ["mem"] / ["disk"] / ["engine"]. *)
+
+val verify_response :
+  id:Obs.Jsonx.t -> groups:group_answer list -> output:string -> string
+(** Success answer to a verify request: per-group fingerprint, verdict
+    and provenance, then the human-readable verdict lines (one per
+    group, newline-joined, no trailing newline) as the final ["output"]
+    field. *)
+
+val simple_response : id:Obs.Jsonx.t -> kind:string -> output:string -> string
+(** Success answer carrying only an ["output"] payload (map, dwell,
+    ping, shutdown). *)
+
+val error_response : id:Obs.Jsonx.t -> string -> string
+(** [{"id":..,"ok":false,"error":msg}]. *)

@@ -1,0 +1,36 @@
+(** The resident dimensioning service behind [cpsdim serve]: one warm
+    cache pair shared across requests, group questions sharded across
+    the default {!Par.Pool}, answers incremental by group fingerprint.
+
+    Requests are handled strictly sequentially and each group question
+    is asked at most once per request (duplicates share one probe), so
+    the response stream is byte-identical at any jobs count and on
+    every replay of the same request log against a fresh service.
+
+    A group whose fingerprint was answered before — in this process or,
+    with a persistent cache, by any earlier one — is served from the
+    warm caches with [`Mem]/[`Disk] provenance; only changed groups
+    reach the engine ([`Miss]). *)
+
+type t
+
+val create : ?pcache:Core.Pcache.t -> unit -> t
+(** A fresh service.  With [pcache] the verdict and dwell caches are
+    backed by the persistent store, so the first request of a process
+    can already be answered incrementally. *)
+
+val handle_line : t -> string -> string * [ `Continue | `Stop ]
+(** Answer one request line with one response line (no trailing
+    newline).  Malformed lines, unknown kinds and failing computations
+    produce an [ok:false] response and [`Continue] — a request never
+    raises.  Only a well-formed [shutdown] request yields [`Stop]. *)
+
+val requests : t -> int
+(** Lines handled so far (malformed ones included). *)
+
+val incremental_skips : t -> int
+(** Group questions answered from a cache ([`Mem]/[`Disk]) instead of
+    the engine, summed over all requests. *)
+
+val engine_runs : t -> int
+(** Group questions and dwell tables the engine actually computed. *)

@@ -13,6 +13,8 @@ type t = {
   salt : string;
   tbl : (string, string) Hashtbl.t;
   m : Mutex.t;
+  ro : bool;
+  mutable lock_fd : Unix.file_descr option;
   mutable oc : out_channel option;
   mutable loaded : int;
   mutable stale_dropped : int;
@@ -109,11 +111,43 @@ let rewrite ~path ~salt entries =
         entries);
   Sys.rename tmp path
 
+(* Advisory single-writer guard.  The disk image is owned by whichever
+   process first takes an exclusive [lockf] lease on the sibling
+   ".lock" file: only the owner heals torn tails, retires stale salts,
+   and appends.  Any later opener — typically a one-shot CLI run racing
+   a resident daemon on the same cache — degrades to read-only: it
+   loads whatever records are currently clean and keeps its own
+   additions in memory, so two processes can never interleave appends
+   into one file.  [lockf] conflicts are a {e cross-process} property
+   (a second handle inside one process still locks successfully),
+   which is exactly the race the append path had: in-process sharing
+   is already mutex-protected.  The lock file itself is never deleted
+   — unlinking it would let a third opener lock a fresh inode while a
+   second still waits on the old one, yielding two writers. *)
+type lock = Writer of Unix.file_descr option | Reader
+
+let acquire_lock path =
+  match Unix.openfile (path ^ ".lock") [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 with
+  | exception Unix.Unix_error _ ->
+    (* no lock file possible (exotic fs, permissions): keep the
+       pre-lock behaviour — write unguarded, surface IO errors as
+       before *)
+    Writer None
+  | fd -> (
+    match Unix.lockf fd Unix.F_TLOCK 0 with
+    | () -> Writer (Some fd)
+    | exception Unix.Unix_error ((EAGAIN | EACCES), _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Reader
+    | exception Unix.Unix_error _ -> Writer (Some fd))
+
 let open_ ~path ~salt =
   if String.contains salt '\n' then Error "Store.open_: salt contains a newline"
   else begin
+    let lock = acquire_lock path in
+    let writer = match lock with Writer _ -> true | Reader -> false in
     let fresh () =
-      rewrite ~path ~salt [];
+      if writer then rewrite ~path ~salt [];
       Ok ([], 0, 0)
     in
     let load () =
@@ -128,18 +162,26 @@ let open_ ~path ~salt =
           | Ok (file_salt, body) ->
             let records, torn = parse_records body in
             if not (String.equal file_salt salt) then begin
-              (* stale engine: drop everything, restart empty *)
-              rewrite ~path ~salt [];
+              (* stale engine: drop everything; only the writer may
+                 restart the file empty *)
+              if writer then rewrite ~path ~salt [];
               Ok ([], List.length records + torn, 0)
             end
             else begin
               (* heal a torn tail so new appends land cleanly *)
-              if torn > 0 then rewrite ~path ~salt records;
+              if torn > 0 && writer then rewrite ~path ~salt records;
               Ok (records, 0, torn)
             end)
     in
+    let release () =
+      match lock with
+      | Writer (Some fd) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | Writer None | Reader -> ()
+    in
     match (try load () with Sys_error m -> Error m) with
-    | Error m -> Error m
+    | Error m ->
+      release ();
+      Error m
     | Ok (records, stale_dropped, torn_dropped) ->
       let tbl = Hashtbl.create 256 in
       List.iter
@@ -151,6 +193,8 @@ let open_ ~path ~salt =
           salt;
           tbl;
           m = Mutex.create ();
+          ro = not writer;
+          lock_fd = (match lock with Writer fd -> fd | Reader -> None);
           oc = None;
           loaded = List.length records;
           stale_dropped;
@@ -166,6 +210,7 @@ let locked t f =
 
 let path t = t.path
 let salt t = t.salt
+let read_only t = t.ro
 
 let find t key =
   let t0 = Obs.Clock.now () in
@@ -189,13 +234,15 @@ let add t key value =
       if not (t.closed || Hashtbl.mem t.tbl key) then begin
         Hashtbl.add t.tbl key value;
         (* disk failures (full disk, revoked permissions) degrade to an
-           in-memory cache rather than aborting a verification run *)
-        (try
-           let oc = out_channel t in
-           Out_channel.output_string oc (record key value);
-           Out_channel.flush oc;
-           t.appended <- t.appended + 1
-         with Sys_error _ -> ())
+           in-memory cache rather than aborting a verification run; a
+           read-only loser of the writer lock never touches the file *)
+        if not t.ro then
+          try
+            let oc = out_channel t in
+            Out_channel.output_string oc (record key value);
+            Out_channel.flush oc;
+            t.appended <- t.appended + 1
+          with Sys_error _ -> ()
       end);
   Obs.Metric.observe_value "store.append_s" (Obs.Clock.now () -. t0)
 
@@ -222,7 +269,8 @@ let clear t =
   locked t (fun () ->
       Hashtbl.reset t.tbl;
       close_channel t;
-      try rewrite ~path:t.path ~salt:t.salt [] with Sys_error _ -> ())
+      if not t.ro then
+        try rewrite ~path:t.path ~salt:t.salt [] with Sys_error _ -> ())
 
 let flush t =
   locked t (fun () ->
@@ -230,10 +278,18 @@ let flush t =
       | Some oc -> ( try Out_channel.flush oc with Sys_error _ -> ())
       | None -> ())
 
+let release_lock t =
+  match t.lock_fd with
+  | None -> ()
+  | Some fd ->
+    t.lock_fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let close t =
   locked t (fun () ->
       t.closed <- true;
-      close_channel t)
+      close_channel t;
+      release_lock t)
 
 let peek ~path =
   match read_file path with

@@ -26,7 +26,16 @@
 
     Duplicate keys keep the first occurrence (values are pure functions
     of their key, so any duplicate is identical).  All operations are
-    mutex-protected and safe to share across domains. *)
+    mutex-protected and safe to share across domains.
+
+    Cross-process writes are single-writer: {!open_} takes an advisory
+    exclusive lock on a sibling [.lock] file, and a process that loses
+    the race (say a one-shot CLI run while a resident daemon owns the
+    cache) degrades to {e read-only} — it loads the clean records,
+    keeps its own {!add}s in memory only, and never heals, invalidates
+    or appends, so two processes cannot interleave records in one
+    file.  {!read_only} reports which side of the race this handle is
+    on. *)
 
 type t
 
@@ -47,6 +56,11 @@ val open_ : path:string -> salt:string -> (t, string) result
 
 val path : t -> string
 val salt : t -> string
+
+val read_only : t -> bool
+(** [true] when another process already holds the writer lock: this
+    handle serves the loaded records and memoises fresh {!add}s in
+    memory, but never writes the file. *)
 
 val find : t -> string -> string option
 val mem : t -> string -> bool

@@ -296,6 +296,72 @@ let test_cosim_flexray_pin () =
   check_int "ttw all delivered" 720 t.Cosim.Bus_check.delivered
 
 (* ------------------------------------------------------------------ *)
+(* The link:burst clause end-to-end: a campaign on the lossy wireless
+   backend stays a pure function of (spec, seed), a p=0 fade is
+   invisible next to plain zero link loss, and a certain fade shows up
+   in the bus accounting *)
+
+let campaign_apps =
+  lazy
+    (let plant =
+       Control.Plant.make
+         ~phi:(Linalg.Mat.of_rows [ [ 0.95; 0.08 ]; [ 0.; 0.9 ] ])
+         ~gamma:[| 0.004; 0.08 |] ~c:[| 1.; 0. |] ~h:0.02
+     in
+     let gains =
+       let kt = Control.Pole_place.place_tt plant [ (0.25, 0.); (0.3, 0.) ] in
+       let ke =
+         Control.Pole_place.place_et plant
+           [ (0.82, 0.); (0.85, 0.); (0.3, 0.) ]
+       in
+       Control.Switched.make_gains plant ~kt ~ke
+     in
+     [
+       [
+         Core.App.make ~name:"A" ~plant ~gains ~r:120 ~j_star:25 ();
+         Core.App.make ~name:"B" ~plant ~gains ~r:130 ~j_star:25 ();
+       ];
+     ])
+
+let burst_campaign spec_str =
+  let spec =
+    match Faults.Spec.parse spec_str with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  match
+    Cosim.Campaign.run ~spec ~seed:42L ~runs:3 ~horizon:120
+      ~bus:Ttw.Backend.default (Lazy.force campaign_apps)
+  with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+(* the spec is part of the summary, so comparisons across different
+   spec strings must mask it out *)
+let despecced s = { s with Cosim.Campaign.spec = [] }
+
+let test_burst_campaign_deterministic () =
+  let a = burst_campaign "link:burst=0.4,len=2" in
+  let b = burst_campaign "link:burst=0.4,len=2" in
+  check_bool "same (spec, seed): byte-identical summary" true (a = b);
+  let silent = burst_campaign "link:burst=0,len=2" in
+  let baseline = burst_campaign "link:p=0" in
+  check_bool "p=0 fade invisible next to zero link loss" true
+    (despecced silent = despecced baseline);
+  let certain = burst_campaign "link:burst=1,len=2" in
+  check_bool "certain fade reaches the bus accounting" true
+    (List.exists
+       (fun (s : Cosim.Campaign.slot_summary) -> s.Cosim.Campaign.bus_lost_tx > 0)
+       certain.Cosim.Campaign.slots);
+  check_bool "fades stay medium-level: control layer untouched" true
+    (List.for_all2
+       (fun (c : Cosim.Campaign.slot_summary)
+            (b : Cosim.Campaign.slot_summary) ->
+         c.Cosim.Campaign.et_losses = b.Cosim.Campaign.et_losses
+         && c.Cosim.Campaign.injected = b.Cosim.Campaign.injected)
+       certain.Cosim.Campaign.slots baseline.Cosim.Campaign.slots)
+
+(* ------------------------------------------------------------------ *)
 (* TTW specifics: retransmission across rounds, flow dimensioning *)
 
 let test_ttw_retransmission () =
@@ -354,6 +420,8 @@ let () =
         [
           Alcotest.test_case "retransmission across rounds" `Quick
             test_ttw_retransmission;
+          Alcotest.test_case "burst campaign deterministic" `Quick
+            test_burst_campaign_deterministic;
           Alcotest.test_case "flow dimensioning" `Quick test_ttw_flow_check;
         ] );
     ]

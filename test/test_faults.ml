@@ -91,6 +91,14 @@ let test_spec_parse () =
   | Ok [ Faults.Spec.Link_loss_random { p = 0.05 } ] -> ()
   | Ok _ -> Alcotest.fail "wrong clause"
   | Error e -> Alcotest.fail e);
+  (match Faults.Spec.parse "link:burst=0.2,len=4" with
+  | Ok [ Faults.Spec.Link_burst { p = 0.2; len = 4 } ] -> ()
+  | Ok _ -> Alcotest.fail "wrong clause"
+  | Error e -> Alcotest.fail e);
+  (match Faults.Spec.parse "link:burst=0.2" with
+  | Ok [ Faults.Spec.Link_burst { p = 0.2; len = 3 } ] -> ()
+  | Ok _ -> Alcotest.fail "default burst length is 3"
+  | Error e -> Alcotest.fail e);
   match Faults.Spec.parse " blackout:p=0.1,len=4 ; loss:A@5 ; drop:B@p=0.2 " with
   | Ok
       [
@@ -112,7 +120,10 @@ let test_spec_roundtrip () =
       "drop:B@p=0.25";
       "burst:A@10x3";
       "link:p=0.05";
+      "link:burst=0.2";
+      "link:burst=0.15,len=5";
       "blackout:0-2; loss:A@1; burst:B@4x2";
+      "link:p=0.1; link:burst=0.2,len=2";
     ]
   in
   List.iter
@@ -133,7 +144,10 @@ let test_spec_errors () =
   check_bool "probability > 1" true (rejected "blackout:p=1.5");
   check_bool "empty window" true (rejected "blackout:7-3");
   check_bool "negative sample" true (rejected "loss:A@-1");
-  check_bool "link wants p=" true (rejected "link:0.1")
+  check_bool "link wants p=" true (rejected "link:0.1");
+  check_bool "burst probability > 1" true (rejected "link:burst=1.5");
+  check_bool "zero burst length" true (rejected "link:burst=0.2,len=0");
+  check_bool "malformed burst length" true (rejected "link:burst=0.2,4")
 
 let test_spec_is_random () =
   let parse s =
@@ -144,7 +158,9 @@ let test_spec_is_random () =
   check_bool "probabilistic clause is random" true
     (Faults.Spec.is_random (parse "blackout:3-7; loss:A@p=0.1"));
   check_bool "link loss is random" true
-    (Faults.Spec.is_random (parse "link:p=0.1"))
+    (Faults.Spec.is_random (parse "link:p=0.1"));
+  check_bool "link burst is random" true
+    (Faults.Spec.is_random (parse "link:burst=0.2"))
 
 (* ------------------------------------------------------------------ *)
 (* Plan materialisation *)
@@ -223,6 +239,28 @@ let test_plan_link_loss () =
   check_bool "app 1 stream stable" true (two.(1) = three.(1));
   check_bool "some losses at p=0.3" true
     (Array.exists (Array.exists Fun.id) two)
+
+let test_plan_link_burst () =
+  (* the clause leaves the sample masks alone and lands as (seed, p,
+     len) for the replay bus, with a seed drawn from its own clause
+     stream — clause-local determinism like every other clause *)
+  let plan = materialize "link:burst=0.2,len=4" ~horizon:12 in
+  check_bool "masks untouched" true
+    (Array.for_all (Array.for_all not) plan.Faults.Plan.et_loss
+    && Array.for_all (Array.for_all not) plan.Faults.Plan.sensor_drop);
+  check_bool "burst-only plan is not empty" false
+    (Faults.Plan.is_empty plan);
+  check_int "mask events unchanged" 0 (Faults.Plan.event_count plan);
+  (match plan.Faults.Plan.link_burst with
+   | [ (_, 0.2, 4) ] -> ()
+   | _ -> Alcotest.fail "expected one (seed, 0.2, 4) burst entry");
+  check_bool "same (spec, seed) => same burst seed" true
+    (plan.Faults.Plan.link_burst
+    = (materialize "link:burst=0.2,len=4" ~horizon:12).Faults.Plan.link_burst);
+  (* a preceding clause must not reshuffle the burst clause's stream *)
+  let shifted = materialize "loss:A@3; link:burst=0.2,len=4" ~horizon:12 in
+  check_bool "clause index keys the stream" true
+    (List.length shifted.Faults.Plan.link_burst = 1)
 
 let test_plan_deterministic () =
   let spec =
@@ -414,6 +452,7 @@ let () =
           Alcotest.test_case "burst spacing" `Quick test_plan_burst_spacing;
           Alcotest.test_case "point faults" `Quick test_plan_point_faults;
           Alcotest.test_case "link loss masks" `Quick test_plan_link_loss;
+          Alcotest.test_case "link burst entries" `Quick test_plan_link_burst;
           Alcotest.test_case "deterministic" `Quick test_plan_deterministic;
           Alcotest.test_case "errors" `Quick test_plan_errors;
         ] );

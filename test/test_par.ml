@@ -115,6 +115,81 @@ let test_pool_shutdown_idempotent () =
   Par.Pool.shutdown pool;
   Par.Pool.shutdown pool
 
+let test_pool_submit_list () =
+  List.iter
+    (fun jobs ->
+      let pool = Par.Pool.create ~jobs in
+      let futs =
+        Par.Pool.submit_list pool (List.init 9 (fun i () -> i * i))
+      in
+      check_bool
+        (Printf.sprintf "submit_list/await_list order at jobs=%d" jobs)
+        true
+        (Par.Pool.await_list pool futs = List.init 9 (fun i -> i * i));
+      (* a sharded thunk may itself fan out on the same pool (the serve
+         layer's shape: across groups outside, within a group inside) *)
+      let nested =
+        Par.Pool.submit_list pool
+          (List.init 4 (fun row () ->
+               Par.Pool.map_list pool (fun col -> (row * 10) + col) [ 0; 1; 2 ]))
+      in
+      check_bool
+        (Printf.sprintf "nested map inside submit_list at jobs=%d" jobs)
+        true
+        (Par.Pool.await_list pool nested
+        = List.init 4 (fun row -> List.init 3 (fun col -> (row * 10) + col)));
+      Par.Pool.shutdown pool)
+    [ 1; 2; 4 ]
+
+(* run [f] with fd 2 teed into a temp file, returning (result, stderr) *)
+let capture_stderr f =
+  let file = Filename.temp_file "cpsdim-test" ".stderr" in
+  flush stderr;
+  let saved = Unix.dup Unix.stderr in
+  let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd;
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        flush stderr;
+        Unix.dup2 saved Unix.stderr;
+        Unix.close saved)
+      f
+  in
+  let captured = In_channel.with_open_bin file In_channel.input_all in
+  Sys.remove file;
+  (r, captured)
+
+let test_env_jobs_warns_once () =
+  (* the regression: "four" or "0" silently coerced to 1, so a
+     misconfigured fleet quietly ran sequential — now the coercion
+     stands but announces itself once, naming the rejected value *)
+  let saved = Sys.getenv_opt "CPSDIM_JOBS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "CPSDIM_JOBS" (Option.value saved ~default:"1"))
+    (fun () ->
+      Unix.putenv "CPSDIM_JOBS" "6";
+      let j, err = capture_stderr Par.Pool.env_jobs in
+      check_int "valid value honoured" 6 j;
+      check_string "no warning for a valid value" "" err;
+      Unix.putenv "CPSDIM_JOBS" "four";
+      let j, err = capture_stderr Par.Pool.env_jobs in
+      check_int "invalid value coerced to 1" 1 j;
+      check_bool "warning names the rejected value" true
+        (let sub = "CPSDIM_JOBS=\"four\"" in
+         let rec find i =
+           i + String.length sub <= String.length err
+           && (String.equal (String.sub err i (String.length sub)) sub
+              || find (i + 1))
+         in
+         find 0);
+      Unix.putenv "CPSDIM_JOBS" "0";
+      let j, err = capture_stderr Par.Pool.env_jobs in
+      check_int "zero coerced to 1" 1 j;
+      check_string "warning emitted only once per process" "" err)
+
 (* ------------------------------------------------------------------ *)
 (* Vcache *)
 
@@ -404,6 +479,10 @@ let () =
             test_pool_rejects_bad_jobs;
           Alcotest.test_case "shutdown idempotent" `Quick
             test_pool_shutdown_idempotent;
+          Alcotest.test_case "submit_list shards and nests" `Quick
+            test_pool_submit_list;
+          Alcotest.test_case "invalid CPSDIM_JOBS warns once" `Quick
+            test_env_jobs_warns_once;
         ] );
       ( "vcache",
         [

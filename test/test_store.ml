@@ -19,7 +19,10 @@ let temp_path () =
 let with_store f =
   let path = temp_path () in
   Fun.protect
-    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".lock" ])
     (fun () -> f path)
 
 let open_exn ~path ~salt =
@@ -197,6 +200,54 @@ let test_store_clear_and_peek () =
     check_string "peek reports the file's salt" "other" salt;
     check_int "peek reports its records" 1 n
   | Error m -> Alcotest.failf "peek on other salt failed: %s" m
+
+(* the single-writer guard is a cross-process property (lockf conflicts
+   only between processes), so the regression test really forks: the
+   child races the parent's open handle, must land read-only, must
+   still serve both the disk image and its own in-memory adds, and
+   must leave the parent's file byte-exactly writer-only *)
+let test_store_single_writer_lock () =
+  with_store @@ fun path ->
+  let s = open_exn ~path ~salt:"s1" in
+  check_bool "first opener owns the file" false (Store.read_only s);
+  Store.add s "k" "parent";
+  Store.flush s;
+  (match Unix.fork () with
+   | 0 ->
+     let rc =
+       match Store.open_ ~path ~salt:"s1" with
+       | Error _ -> 1
+       | Ok s2 ->
+         if not (Store.read_only s2) then 2
+         else if Store.find s2 "k" <> Some "parent" then 3
+         else begin
+           Store.add s2 "k2" "child";
+           if Store.find s2 "k2" <> Some "child" then 4
+           else begin
+             Store.close s2;
+             0
+           end
+         end
+     in
+     (* _exit, not exit: the child must not run the parent's at_exit
+        handlers (domain-pool shutdown, channel flushing) *)
+     Unix._exit rc
+   | pid ->
+     let _, status = Unix.waitpid [] pid in
+     check_bool "child degraded to read-only (exit 0)" true
+       (status = Unix.WEXITED 0));
+  (* the lock outlives the child: the parent still appends normally and
+     the child's in-memory record never reached the file *)
+  Store.add s "k3" "parent2";
+  Store.close s;
+  let s = open_exn ~path ~salt:"s1" in
+  check_bool "lock released at close: reopen writes" false (Store.read_only s);
+  check_int "only the writer's records on disk" 2 (Store.length s);
+  Alcotest.(check (option string)) "child record absent" None
+    (Store.find s "k2");
+  Alcotest.(check (option string)) "writer records intact" (Some "parent2")
+    (Store.find s "k3");
+  Store.close s
 
 let test_store_rejects_newline_salt () =
   with_store @@ fun path ->
@@ -512,6 +563,8 @@ let () =
           Alcotest.test_case "refuses non-store files" `Quick
             test_store_refuses_non_store;
           Alcotest.test_case "clear and peek" `Quick test_store_clear_and_peek;
+          Alcotest.test_case "single writer across processes" `Quick
+            test_store_single_writer_lock;
           Alcotest.test_case "rejects newline salt" `Quick
             test_store_rejects_newline_salt;
         ] );
